@@ -1,0 +1,77 @@
+// Command incast runs the paper's incast experiments (Figures 1, 6, 7, 8):
+// N concurrent flows answer a barrier-synchronized aggregator through the
+// bottleneck switch, and the tool reports per-point goodput, FCT and
+// timeout counts.
+//
+// Examples:
+//
+//	incast -protocols dctcp,tcp -flows 1,5,10,20,35,50,80,100      # Fig. 1
+//	incast -protocols dctcp+partial -flows 20,60,100,160,200       # Fig. 6
+//	incast -protocols dctcp+,dctcp,tcp -flows 20,60,120,200        # Fig. 7
+//	incast -protocols dctcp,tcp -rtomin 10ms -flows 20,60,120,200  # Fig. 8
+//	incast -protocols dctcp+ -flows 200 -rounds 1000               # paper scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	dcp "dctcpplus"
+)
+
+func main() {
+	var (
+		protocols = flag.String("protocols", "dctcp+,dctcp,tcp",
+			"comma-separated protocols (tcp, dctcp, dctcp-min1, dctcp+, dctcp+partial, reno+)")
+		flows  = flag.String("flows", "10,20,40,60,80,120,160,200", "comma-separated concurrent flow counts")
+		rounds = flag.Int("rounds", 50, "request/response rounds per point (paper: 1000)")
+		warmup = flag.Int("warmup", 10, "initial rounds excluded from statistics")
+		total  = flag.Int64("total", 1<<20, "total bytes per round, split across flows (1MB/N each)")
+		per    = flag.Int64("perflow", 0, "bytes per flow per round (overrides -total split)")
+		rtoMin = flag.Duration("rtomin", 200*time.Millisecond, "minimum (and initial) RTO")
+		jitter = flag.Duration("jitter", 4*time.Millisecond, "worker service jitter")
+		seed   = flag.Uint64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+
+	flowCounts, err := parseInts(*flows)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "incast:", err)
+		os.Exit(2)
+	}
+
+	var all []dcp.IncastResult
+	for _, name := range strings.Split(*protocols, ",") {
+		p, err := dcp.ParseProtocol(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "incast:", err)
+			os.Exit(2)
+		}
+		o := dcp.DefaultIncastOptions(p, 0)
+		o.Rounds = *rounds
+		o.WarmupRounds = *warmup
+		o.TotalBytes = *total
+		o.BytesPerFlow = *per
+		o.RTOMin = dcp.Duration(*rtoMin)
+		o.Testbed.ServiceJitter = dcp.Duration(*jitter)
+		o.Testbed.Seed = *seed
+		all = append(all, dcp.SweepIncastParallel(o, flowCounts)...)
+	}
+	dcp.PrintIncastRows(os.Stdout, all)
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad flow count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

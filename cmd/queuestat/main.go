@@ -1,0 +1,109 @@
+// Command queuestat samples the bottleneck switch queue every 100us, as
+// the paper does on Switch 1, and reports either the queue-length CDF
+// (Figure 9) or the convergence time series of Figure 14 (50 DCTCP+ flows
+// at 4MB each: the buffer overflows for the first rounds, then the
+// regulation converges).
+//
+// Examples:
+//
+//	queuestat -protocols dctcp+,dctcp,tcp -flows 30,50,80   # Fig. 9
+//	queuestat -trace                                        # Fig. 14
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	dcp "dctcpplus"
+)
+
+func main() {
+	var (
+		protocols = flag.String("protocols", "dctcp+,dctcp,tcp", "comma-separated protocols")
+		flows     = flag.String("flows", "30,50,80", "comma-separated concurrent flow counts")
+		rounds    = flag.Int("rounds", 50, "rounds per point")
+		warmup    = flag.Int("warmup", 10, "initial rounds excluded from statistics")
+		rtoMin    = flag.Duration("rtomin", 200*time.Millisecond, "minimum (and initial) RTO")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		traceMode = flag.Bool("trace", false, "run the Fig. 14 convergence trace instead of the CDF")
+		binMS     = flag.Int("bin", 50, "trace mode: bin width in ms for the printed series")
+	)
+	flag.Parse()
+
+	if *traceMode {
+		runTrace(*seed, *binMS)
+		return
+	}
+
+	fmt.Println("Figure 9: bottleneck queue-length CDF (bytes; sampled every 100us)")
+	fmt.Printf("%-14s %5s | %9s %9s %9s %9s %9s\n",
+		"protocol", "N", "p25", "p50", "p90", "p99", "max")
+	for _, name := range strings.Split(*protocols, ",") {
+		p, err := dcp.ParseProtocol(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "queuestat:", err)
+			os.Exit(2)
+		}
+		for _, f := range strings.Split(*flows, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "queuestat: bad flow count %q\n", f)
+				os.Exit(2)
+			}
+			o := dcp.DefaultIncastOptions(p, n)
+			o.Rounds = *rounds
+			o.WarmupRounds = *warmup
+			o.RTOMin = dcp.Duration(*rtoMin)
+			o.Testbed.Seed = *seed
+			o.QueueSampleEvery = 100 * dcp.Microsecond
+			r := dcp.RunIncast(o)
+			cdf := r.QueueCDF()
+			fmt.Printf("%-14s %5d | %9.0f %9.0f %9.0f %9.0f %9.0f\n",
+				p, n, cdf.Quantile(0.25), cdf.Quantile(0.5), cdf.Quantile(0.9),
+				cdf.Quantile(0.99), cdf.Quantile(1))
+		}
+	}
+}
+
+// runTrace reproduces Figure 14: N=50 DCTCP+ flows, 4MB each, queue
+// occupancy over the first rounds.
+func runTrace(seed uint64, binMS int) {
+	o := dcp.DefaultIncastOptions(dcp.ProtoDCTCPPlus, 50)
+	o.BytesPerFlow = 4 << 20
+	o.Rounds = 8
+	o.WarmupRounds = 1
+	o.Testbed.Seed = seed
+	o.QueueSampleEvery = 100 * dcp.Microsecond
+	r := dcp.RunIncast(o)
+
+	fmt.Println("Figure 14: Switch-1 queue occupancy, 50 DCTCP+ flows x 4MB")
+	fmt.Printf("(max occupancy per %dms bin; buffer limit 131072 bytes)\n", binMS)
+	bin := dcp.Duration(binMS) * dcp.Millisecond
+	cur, binIdx := 0, 0
+	for _, s := range r.QueueSamples {
+		idx := int(dcp.Duration(s.At) / bin)
+		for idx > binIdx {
+			printBin(binIdx, binMS, cur)
+			binIdx++
+			cur = 0
+		}
+		if s.Bytes > cur {
+			cur = s.Bytes
+		}
+	}
+	printBin(binIdx, binMS, cur)
+	fmt.Printf("\nbottleneck drops: %d   timeouts: %d\n", r.BottleneckDrops, r.Timeouts)
+}
+
+func printBin(idx, binMS, maxBytes int) {
+	const width = 60
+	bar := maxBytes * width / (128 << 10)
+	if bar > width {
+		bar = width
+	}
+	fmt.Printf("t=%5dms %6dB |%s\n", idx*binMS, maxBytes, strings.Repeat("#", bar))
+}

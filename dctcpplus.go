@@ -1,0 +1,257 @@
+// Package dctcpplus is a packet-level reproduction of "Slowing Little
+// Quickens More: Improving DCTCP for Massive Concurrent Flows" (Miao,
+// Cheng, Ren, Shu — ICPP 2015).
+//
+// The paper's artifact is a Linux-kernel congestion-control patch
+// evaluated on a physical incast testbed. This library rebuilds the whole
+// stack as a deterministic discrete-event simulation: an event engine, a
+// 2-tier GbE topology with ECN-marking shared-buffer switches, a TCP
+// NewReno engine with pluggable congestion control, DCTCP, and DCTCP+ —
+// the paper's contribution: when the congestion window is pinned at its
+// floor and ECN feedback keeps arriving, regulate the sending *time
+// interval* (slow_time) with randomized AIMD backoff to both slow down and
+// desynchronize massive concurrent flows.
+//
+// This package is the public facade: protocol selection, experiment
+// configuration, and runners for every figure and table in the paper's
+// evaluation. The building blocks live under internal/ (see DESIGN.md for
+// the system inventory):
+//
+//	internal/sim      discrete-event engine (clock, scheduler, RNG)
+//	internal/packet   segment model with ECN codepoints
+//	internal/netsim   links, ECN switches, hosts, topologies
+//	internal/tcp      TCP engine: NewReno, RTO taxonomy, ECN echo modes
+//	internal/dctcp    DCTCP congestion module (alpha estimator)
+//	internal/core     DCTCP+ (Fig. 4 state machine, Algorithm 1)
+//	internal/workload incast / background / production-benchmark traffic
+//	internal/stats    summaries, CDFs, histograms
+//	internal/trace    cwnd probes and queue samplers
+//	internal/exp      per-figure experiment runners
+//
+// # Quick start
+//
+//	opts := dctcpplus.DefaultIncastOptions(dctcpplus.ProtoDCTCPPlus, 100)
+//	res := dctcpplus.RunIncast(opts)
+//	fmt.Printf("N=100 goodput %.0f Mbps, FCT %.1f ms\n",
+//	    res.GoodputMbps.Mean, res.FCTms.Mean)
+//
+// Every run is a pure function of its options (seeded randomness, virtual
+// time only), so results are exactly reproducible.
+package dctcpplus
+
+import (
+	"io"
+
+	"dctcpplus/internal/core"
+	"dctcpplus/internal/exp"
+	"dctcpplus/internal/sim"
+	"dctcpplus/internal/stats"
+	"dctcpplus/internal/workload"
+)
+
+// Protocol selects a transport variant under evaluation.
+type Protocol = exp.Protocol
+
+// The protocol variants. See the exp package for details.
+const (
+	// ProtoTCP is plain TCP NewReno without ECN.
+	ProtoTCP = exp.ProtoTCP
+	// ProtoDCTCP is DCTCP with the standard 2-MSS window floor.
+	ProtoDCTCP = exp.ProtoDCTCP
+	// ProtoDCTCPMin1 is DCTCP with a 1-MSS floor (footnote-3 control).
+	ProtoDCTCPMin1 = exp.ProtoDCTCPMin1
+	// ProtoDCTCPPlus is the full DCTCP+.
+	ProtoDCTCPPlus = exp.ProtoDCTCPPlus
+	// ProtoDCTCPPlusPartial is DCTCP+ without desynchronization (Fig. 6).
+	ProtoDCTCPPlusPartial = exp.ProtoDCTCPPlusPartial
+	// ProtoRenoPlus is Reno-ECN plus the enhancement mechanism (§VII).
+	ProtoRenoPlus = exp.ProtoRenoPlus
+	// ProtoD2TCP is Deadline-Aware DCTCP with mixed per-flow urgencies.
+	ProtoD2TCP = exp.ProtoD2TCP
+	// ProtoD2TCPPlus is D2TCP plus the enhancement mechanism (§VII).
+	ProtoD2TCPPlus = exp.ProtoD2TCPPlus
+)
+
+// Protocols lists every variant in display order.
+var Protocols = exp.Protocols
+
+// ParseProtocol maps a protocol name back to its value.
+func ParseProtocol(s string) (Protocol, error) { return exp.ParseProtocol(s) }
+
+// Duration re-exports the virtual-time duration type used in options.
+type Duration = sim.Duration
+
+// Common virtual-time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Experiment configuration and results.
+type (
+	// Testbed describes the simulated cluster.
+	Testbed = exp.Testbed
+	// IncastOptions parameterizes one incast run (Figs. 1/2/6/7/8/9/14,
+	// Table I).
+	IncastOptions = exp.IncastOptions
+	// IncastResult is one incast experiment point.
+	IncastResult = exp.IncastResult
+	// BackgroundIncastOptions parameterizes incast + long flows (Figs.
+	// 10-12).
+	BackgroundIncastOptions = exp.BackgroundIncastOptions
+	// BackgroundIncastResult extends IncastResult with long-flow numbers.
+	BackgroundIncastResult = exp.BackgroundIncastResult
+	// BenchmarkOptions parameterizes the production benchmark mix (Fig. 13).
+	BenchmarkOptions = exp.BenchmarkOptions
+	// BenchmarkResult holds the Fig. 13 rows.
+	BenchmarkResult = exp.BenchmarkResult
+)
+
+// DefaultTestbed returns the paper's cluster parameters (9 workers + 1
+// aggregator, 1Gbps links, 128KB port buffers, K=32KB).
+func DefaultTestbed() Testbed { return exp.DefaultTestbed() }
+
+// HULLTestbed returns the cluster with HULL phantom-queue marking instead
+// of the DCTCP threshold (the §VII composition with HULL).
+func HULLTestbed() Testbed { return exp.HULLTestbed() }
+
+// DefaultIncastOptions returns §VI-B basic-incast settings for protocol p
+// with N concurrent flows.
+func DefaultIncastOptions(p Protocol, flows int) IncastOptions {
+	return exp.DefaultIncastOptions(p, flows)
+}
+
+// DefaultBackgroundIncastOptions returns §VI-C settings (incast + 2
+// persistent flows).
+func DefaultBackgroundIncastOptions(p Protocol, flows int) BackgroundIncastOptions {
+	return exp.DefaultBackgroundIncastOptions(p, flows)
+}
+
+// DefaultBenchmarkOptions returns §VI-D benchmark-traffic settings.
+func DefaultBenchmarkOptions(p Protocol) BenchmarkOptions {
+	return exp.DefaultBenchmarkOptions(p)
+}
+
+// RunIncast executes one incast experiment point.
+func RunIncast(o IncastOptions) IncastResult { return exp.RunIncast(o) }
+
+// SweepIncast runs an incast curve across flow counts.
+func SweepIncast(base IncastOptions, flowCounts []int) []IncastResult {
+	return exp.SweepIncast(base, flowCounts)
+}
+
+// SweepIncastParallel is SweepIncast with the points executed on separate
+// goroutines. Each point is an independent deterministic simulation, so
+// results are positionally identical to the sequential sweep.
+func SweepIncastParallel(base IncastOptions, flowCounts []int) []IncastResult {
+	return exp.SweepIncastParallel(base, flowCounts)
+}
+
+// RunMany executes heterogeneous incast points concurrently.
+func RunMany(optList []IncastOptions) []IncastResult { return exp.RunMany(optList) }
+
+// RunBackgroundIncast executes incast concurrently with long flows.
+func RunBackgroundIncast(o BackgroundIncastOptions) BackgroundIncastResult {
+	return exp.RunBackgroundIncast(o)
+}
+
+// SweepBackgroundIncast runs the background-incast curve across flow
+// counts.
+func SweepBackgroundIncast(base BackgroundIncastOptions, flowCounts []int) []BackgroundIncastResult {
+	return exp.SweepBackgroundIncast(base, flowCounts)
+}
+
+// SweepBackgroundIncastParallel is SweepBackgroundIncast with the points
+// executed concurrently.
+func SweepBackgroundIncastParallel(base BackgroundIncastOptions, flowCounts []int) []BackgroundIncastResult {
+	return exp.SweepBackgroundIncastParallel(base, flowCounts)
+}
+
+// RunBenchmark executes the production benchmark-traffic experiment.
+func RunBenchmark(o BenchmarkOptions) BenchmarkResult { return exp.RunBenchmark(o) }
+
+// PrintIncastRows writes an incast curve as aligned text rows.
+func PrintIncastRows(w io.Writer, results []IncastResult) { exp.PrintIncastRows(w, results) }
+
+// PrintBackgroundIncastRows writes the Figs. 11/12 rows.
+func PrintBackgroundIncastRows(w io.Writer, results []BackgroundIncastResult) {
+	exp.PrintBackgroundIncastRows(w, results)
+}
+
+// PrintBenchmarkRows writes the Fig. 13 rows.
+func PrintBenchmarkRows(w io.Writer, results []BenchmarkResult) {
+	exp.PrintBenchmarkRows(w, results)
+}
+
+// EnhancementConfig parameterizes the DCTCP+ mechanism itself (backoff
+// unit, divisor, threshold, desynchronization) for ablation studies.
+type EnhancementConfig = core.Config
+
+// DefaultEnhancementConfig returns the calibrated DCTCP+ parameters.
+func DefaultEnhancementConfig() EnhancementConfig { return core.DefaultConfig() }
+
+// FlowFactory builds per-flow transports; plug one into
+// IncastOptions.Factory to run custom variants.
+type FlowFactory = workload.FlowFactory
+
+// DCTCPPlusFactory builds DCTCP+ endpoints with a custom enhancement
+// configuration, for parameter sweeps.
+func DCTCPPlusFactory(rtoMin Duration, seedBase uint64, cfg EnhancementConfig) FlowFactory {
+	return exp.DCTCPPlusFactory(rtoMin, seedBase, cfg)
+}
+
+// JainIndex computes Jain's fairness index over per-flow allocations
+// (1 = perfectly equal shares, 1/n = one flow holds everything).
+func JainIndex(x []float64) float64 { return stats.JainIndex(x) }
+
+// Typed per-figure experiments: construct the spec (NewFigureN), adjust
+// fields, Run, then Render the same rows/series the paper reports.
+type (
+	// Scale applies common run-length settings to figure specs.
+	Scale = exp.Scale
+	// Figure1 is the basic incast goodput comparison (DCTCP vs TCP).
+	Figure1 = exp.Figure1
+	// Figure2Table1 is the cwnd distribution + timeout taxonomy analysis.
+	Figure2Table1 = exp.Figure2Table1
+	// Figure7 is the headline comparison (Figures 6/8 are variants).
+	Figure7 = exp.Figure7
+	// Figure9 is the bottleneck queue-length CDF comparison.
+	Figure9 = exp.Figure9
+	// Figure11_12 is the incast-with-background-flows experiment.
+	Figure11_12 = exp.Figure11_12
+	// Figure13 is the production benchmark-traffic experiment.
+	Figure13 = exp.Figure13
+	// Figure14 is the DCTCP+ convergence trace.
+	Figure14 = exp.Figure14
+)
+
+// DefaultScale returns the report's default run-length settings.
+func DefaultScale() Scale { return exp.DefaultScale() }
+
+// NewFigure1 returns the Figure 1 specification.
+func NewFigure1() *Figure1 { return exp.NewFigure1() }
+
+// NewFigure2Table1 returns the Figure 2 / Table I specification.
+func NewFigure2Table1() *Figure2Table1 { return exp.NewFigure2Table1() }
+
+// NewFigure6 returns the Figure 6 (partial DCTCP+) specification.
+func NewFigure6() *Figure7 { return exp.NewFigure6() }
+
+// NewFigure7 returns the Figure 7 specification.
+func NewFigure7() *Figure7 { return exp.NewFigure7() }
+
+// NewFigure8 returns the Figure 8 (10ms baseline RTO) specification.
+func NewFigure8() *Figure7 { return exp.NewFigure8() }
+
+// NewFigure9 returns the Figure 9 specification.
+func NewFigure9() *Figure9 { return exp.NewFigure9() }
+
+// NewFigure11_12 returns the §VI-C specification.
+func NewFigure11_12() *Figure11_12 { return exp.NewFigure11_12() }
+
+// NewFigure13 returns the §VI-D specification.
+func NewFigure13() *Figure13 { return exp.NewFigure13() }
+
+// NewFigure14 returns the Figure 14 specification.
+func NewFigure14() *Figure14 { return exp.NewFigure14() }

@@ -1,0 +1,30 @@
+// Deadlines demonstrates the §VII composition of the enhancement mechanism
+// with D2TCP (deadline-aware DCTCP): a high fan-in incast where each
+// responder carries an urgency factor. Plain D2TCP differentiates
+// bandwidth by deadline but still collapses under massive fan-in; d2tcp+
+// keeps the differentiation while surviving hundreds of flows.
+package main
+
+import (
+	"fmt"
+
+	dcp "dctcpplus"
+)
+
+func main() {
+	const flows = 120
+	fmt.Printf("Mixed-deadline incast, N=%d (urgencies cycle 0.5 / 1 / 2)\n\n", flows)
+	fmt.Printf("%-10s %12s %12s %12s %10s\n",
+		"protocol", "goodput", "fct.mean", "fct.p99", "timeouts")
+	for _, p := range []dcp.Protocol{dcp.ProtoD2TCP, dcp.ProtoD2TCPPlus, dcp.ProtoDCTCPPlus} {
+		o := dcp.DefaultIncastOptions(p, flows)
+		o.Rounds = 30
+		o.WarmupRounds = 8
+		r := dcp.RunIncast(o)
+		fmt.Printf("%-10s %9.0f Mb %10.2fms %10.2fms %10d\n",
+			p, r.GoodputMbps.Mean, r.FCTms.Mean, r.FCTms.P99, r.Timeouts)
+	}
+	fmt.Println("\nd2tcp collapses like DCTCP once the fan-in exceeds the pipeline;")
+	fmt.Println("wrapping it with the DCTCP+ mechanism (d2tcp+) restores liveness")
+	fmt.Println("while the gamma-corrected backoff keeps differentiating deadlines.")
+}

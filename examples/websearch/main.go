@@ -1,0 +1,65 @@
+// Websearch models the partition/aggregate pattern the paper's
+// introduction motivates (Google web search, Bing, MapReduce shuffles): a
+// front-end fans a query out to hundreds of leaf workers and can only
+// answer once the slowest response arrives, so the *tail* of the fan-in
+// FCT is the user-visible latency.
+//
+// The example sweeps the fan-in width across the three protocols and
+// reports the tail view: at what width does each transport stop delivering
+// interactive latency?
+package main
+
+import (
+	"fmt"
+
+	dcp "dctcpplus"
+)
+
+func main() {
+	widths := []int{20, 50, 100, 150, 200}
+	protocols := []dcp.Protocol{dcp.ProtoTCP, dcp.ProtoDCTCP, dcp.ProtoDCTCPPlus}
+
+	// A 200ms answer budget, a common interactive SLA: each query must
+	// aggregate all responses within it.
+	const slaMS = 200.0
+
+	fmt.Println("Partition/aggregate fan-in: p99 round latency (ms) vs fan-in width")
+	fmt.Printf("%-10s", "width")
+	for _, p := range protocols {
+		fmt.Printf(" %12s", p)
+	}
+	fmt.Println()
+
+	type key struct {
+		p dcp.Protocol
+		n int
+	}
+	meets := map[key]bool{}
+	for _, n := range widths {
+		fmt.Printf("%-10d", n)
+		for _, p := range protocols {
+			o := dcp.DefaultIncastOptions(p, n)
+			o.Rounds = 30
+			o.WarmupRounds = 8
+			r := dcp.RunIncast(o)
+			fmt.Printf(" %10.1fms", r.FCTms.P99)
+			meets[key{p, n}] = r.FCTms.P99 < slaMS
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("\nWidths meeting a %.0fms p99 SLA:\n", slaMS)
+	for _, p := range protocols {
+		max := 0
+		for _, n := range widths {
+			if meets[key{p, n}] && n > max {
+				max = n
+			}
+		}
+		if max == 0 {
+			fmt.Printf("  %-14s none of the tested widths\n", p)
+		} else {
+			fmt.Printf("  %-14s up to %d-way fan-in\n", p, max)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module dctcpplus
+
+go 1.22

@@ -1,0 +1,482 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dctcpplus/internal/dctcp"
+	"dctcpplus/internal/netsim"
+	"dctcpplus/internal/packet"
+	"dctcpplus/internal/sim"
+	"dctcpplus/internal/tcp"
+)
+
+// plusWire builds a two-host path with a controllable CE-marking shim, a
+// DCTCP+ sender and a precise-echo receiver.
+type plusWire struct {
+	sched *sim.Scheduler
+	conn  *tcp.Conn
+	enh   *Enhancer
+	mark  *bool
+}
+
+type ceShim struct {
+	dst  netsim.Node
+	mark *bool
+}
+
+func (m *ceShim) ID() packet.NodeID { return 50 }
+func (m *ceShim) Deliver(p *packet.Packet) {
+	if *m.mark && p.IsData() && p.ECN == packet.ECT {
+		p.ECN = packet.CE
+	}
+	m.dst.Deliver(p)
+}
+
+func newPlusWire(cfg Config, mut func(*tcp.Config)) *plusWire {
+	s := sim.NewScheduler()
+	a := netsim.NewHost(s, 1, "a")
+	b := netsim.NewHost(s, 2, "b")
+	mark := new(bool)
+	shim := &ceShim{dst: b, mark: mark}
+	a.SetUplink(netsim.NewPort(s, netsim.NewLink(s, shim, 1e9, 50*sim.Microsecond),
+		netsim.PortConfig{BufferBytes: 4 << 20}))
+	b.SetUplink(netsim.NewPort(s, netsim.NewLink(s, a, 1e9, 50*sim.Microsecond),
+		netsim.PortConfig{BufferBytes: 4 << 20}))
+	tcfg := SenderConfig()
+	if mut != nil {
+		mut(&tcfg)
+	}
+	enh := New(dctcp.DefaultGain, cfg)
+	conn := tcp.NewConn(tcfg, enh, a, b, 3)
+	return &plusWire{sched: s, conn: conn, enh: enh, mark: mark}
+}
+
+func TestStateStrings(t *testing.T) {
+	if StateNormal.String() != "DCTCP_NORMAL" ||
+		StateTimeInc.String() != "DCTCP_Time_Inc" ||
+		StateTimeDes.String() != "DCTCP_Time_Des" ||
+		State(9).String() != "?" {
+		t.Error("state strings wrong")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{BackoffUnit: 0, DivisorFactor: 2},
+		{BackoffUnit: 1, DivisorFactor: 1},
+		{BackoffUnit: 1, DivisorFactor: 2, ThresholdT: -1},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad config %d did not panic", i)
+				}
+			}()
+			Enhance(tcp.NewReno{}, cfg)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil inner did not panic")
+			}
+		}()
+		Enhance(nil, DefaultConfig())
+	}()
+}
+
+func TestNameAndAccessors(t *testing.T) {
+	e := New(dctcp.DefaultGain, DefaultConfig())
+	if e.Name() != "dctcp+" {
+		t.Errorf("name = %q", e.Name())
+	}
+	if e.State() != StateNormal || e.SlowTime() != 0 {
+		t.Error("fresh enhancer not in Normal/0")
+	}
+	if e.Inner().Name() != "dctcp" {
+		t.Error("inner not dctcp")
+	}
+	if e.ConfigUsed().DivisorFactor != 2 {
+		t.Error("config not retained")
+	}
+	r := Enhance(tcp.NewReno{}, DefaultConfig())
+	if r.Name() != "reno+" {
+		t.Errorf("reno+ name = %q", r.Name())
+	}
+}
+
+func TestSenderConfigFloor(t *testing.T) {
+	cfg := SenderConfig()
+	if cfg.MinCwnd != 1 {
+		t.Errorf("MinCwnd = %v, want 1 (footnote 3)", cfg.MinCwnd)
+	}
+	if cfg.ECN != tcp.ECNPrecise {
+		t.Error("DCTCP+ must use precise echo")
+	}
+}
+
+// driveEvolve drives the state machine directly through a sender pinned at
+// its window floor.
+func pinnedSender(t *testing.T) (*plusWire, *tcp.Sender) {
+	t.Helper()
+	w := newPlusWire(DefaultConfig(), nil)
+	return w, w.conn.Sender
+}
+
+func TestStateMachineTransitions(t *testing.T) {
+	w, s := pinnedSender(t)
+	e := w.enh
+	// Fresh sender: cwnd = 2 > MinCwnd = 1, so even ECE keeps Normal.
+	e.evolve(s, true, false)
+	if e.State() != StateNormal {
+		t.Fatalf("state = %v; cwnd above floor must stay Normal", e.State())
+	}
+
+	// Pin the window at the floor by collapsing via a synthetic timeout
+	// path: simulate cwnd at min using a config where MinCwnd = InitialCwnd.
+	// The state machine is stepped at a fixed virtual instant here, so
+	// disable the decay rate limit (tested separately).
+	mcfg := DefaultConfig()
+	mcfg.DecayInterval = 0
+	w2 := newPlusWire(mcfg, func(c *tcp.Config) {
+		c.InitialCwnd = 1
+		c.MinCwnd = 1
+	})
+	e2, s2 := w2.enh, w2.conn.Sender
+
+	// Normal --congested--> TimeInc with slow_time = random(unit) >= 0.
+	e2.evolve(s2, true, false)
+	if e2.State() != StateTimeInc {
+		t.Fatalf("state = %v, want TimeInc", e2.State())
+	}
+	if e2.SlowTime() < 0 || e2.SlowTime() >= e2.cfg.BackoffUnit {
+		t.Errorf("slow_time = %v, want in [0, unit)", e2.SlowTime())
+	}
+
+	// TimeInc --congested--> TimeInc, slow_time grows.
+	before := e2.SlowTime()
+	e2.evolve(s2, true, false)
+	if e2.State() != StateTimeInc || e2.SlowTime() < before {
+		t.Errorf("additive increase failed: %v -> %v", before, e2.SlowTime())
+	}
+
+	// TimeInc --clean ACK--> TimeDes, slow_time divided.
+	st := e2.SlowTime()
+	e2.evolve(s2, false, false)
+	if e2.State() != StateTimeDes {
+		t.Fatalf("state = %v, want TimeDes", e2.State())
+	}
+	if e2.SlowTime() != sim.Duration(float64(st)/2) {
+		t.Errorf("slow_time = %v, want %v/2", e2.SlowTime(), st)
+	}
+
+	// TimeDes --congested--> TimeInc again.
+	e2.evolve(s2, true, false)
+	if e2.State() != StateTimeInc {
+		t.Fatalf("state = %v, want TimeInc after congestion in TimeDes", e2.State())
+	}
+
+	// Decay to Normal: repeated clean ACKs divide until <= threshold, then
+	// return to Normal with slow_time reset.
+	for i := 0; i < 64 && e2.State() != StateNormal; i++ {
+		e2.evolve(s2, false, false)
+	}
+	if e2.State() != StateNormal || e2.SlowTime() != 0 {
+		t.Errorf("machine did not return to Normal: %v slow=%v", e2.State(), e2.SlowTime())
+	}
+	stats := e2.Stats()
+	if stats.EnterTimeInc != 2 || stats.ReturnsNormal != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.MaxSlowTime <= 0 {
+		t.Error("MaxSlowTime not recorded")
+	}
+}
+
+func TestDecayRateLimited(t *testing.T) {
+	// With a decay interval, consecutive clean evaluations at the same
+	// virtual instant may divide slow_time at most once — a burst of clean
+	// ACKs cannot erase the regulation.
+	cfg := DefaultConfig()
+	cfg.DecayInterval = 5 * sim.Millisecond
+	w := newPlusWire(cfg, func(c *tcp.Config) {
+		c.InitialCwnd = 1
+		c.MinCwnd = 1
+	})
+	e, s := w.enh, w.conn.Sender
+	for i := 0; i < 8; i++ {
+		e.evolve(s, true, false) // build up slow_time
+	}
+	peak := e.SlowTime()
+	if peak <= 0 {
+		t.Fatal("no slow_time accumulated")
+	}
+	for i := 0; i < 10; i++ {
+		e.evolve(s, false, false) // clean burst at the same instant
+	}
+	if e.State() != StateTimeDes {
+		t.Fatalf("state = %v, want TimeDes", e.State())
+	}
+	want := sim.Duration(float64(peak) / cfg.DivisorFactor)
+	if e.SlowTime() != want {
+		t.Errorf("slow_time = %v, want a single division to %v", e.SlowTime(), want)
+	}
+	if e.Stats().DecSteps != 1 {
+		t.Errorf("DecSteps = %d, want 1", e.Stats().DecSteps)
+	}
+}
+
+func TestCwndCapWhileEngaged(t *testing.T) {
+	w := newPlusWire(DefaultConfig(), func(c *tcp.Config) {
+		c.InitialCwnd = 1
+		c.MinCwnd = 1
+	})
+	e, s := w.enh, w.conn.Sender
+	if _, active := e.CwndCap(s); active {
+		t.Error("cap active in Normal state")
+	}
+	e.evolve(s, true, false)
+	cap, active := e.CwndCap(s)
+	if !active || cap != s.MinCwndMSS() {
+		t.Errorf("engaged cap = %v/%v, want floor", cap, active)
+	}
+}
+
+func TestOccupancyAccounting(t *testing.T) {
+	w := newPlusWire(DefaultConfig(), func(c *tcp.Config) {
+		c.InitialCwnd = 1
+		c.MinCwnd = 1
+	})
+	e, s := w.enh, w.conn.Sender
+	// Spend 10ms in Normal, then engage, then 5ms in TimeInc.
+	w.sched.At(10*sim.Time(sim.Millisecond), func() { e.evolve(s, true, false) })
+	w.sched.At(15*sim.Time(sim.Millisecond), func() {
+		occ := e.Occupancy(s.Now())
+		if occ[StateNormal] != 10*sim.Millisecond {
+			t.Errorf("Normal occupancy = %v, want 10ms", occ[StateNormal])
+		}
+		if occ[StateTimeInc] != 5*sim.Millisecond {
+			t.Errorf("TimeInc occupancy = %v, want 5ms", occ[StateTimeInc])
+		}
+		if occ[StateTimeDes] != 0 {
+			t.Errorf("TimeDes occupancy = %v, want 0", occ[StateTimeDes])
+		}
+	})
+	w.sched.Run()
+}
+
+func TestOccupancySumsToElapsed(t *testing.T) {
+	// Property-ish: after an arbitrary transition sequence, occupancies sum
+	// to elapsed virtual time.
+	w := newPlusWire(DefaultConfig(), func(c *tcp.Config) {
+		c.InitialCwnd = 1
+		c.MinCwnd = 1
+	})
+	e, s := w.enh, w.conn.Sender
+	rng := sim.NewRNG(12)
+	var tEnd sim.Time
+	for i := 0; i < 40; i++ {
+		at := sim.Time(rng.Intn(1000)+1) * sim.Time(sim.Microsecond)
+		tEnd = tEnd.Add(sim.Duration(at))
+		congested := rng.Intn(2) == 0
+		w.sched.At(tEnd, func() { e.evolve(s, congested, false) })
+	}
+	w.sched.Run()
+	occ := e.Occupancy(tEnd)
+	total := occ[StateNormal] + occ[StateTimeInc] + occ[StateTimeDes]
+	if total != tEnd.Sub(0) {
+		t.Errorf("occupancy sum %v != elapsed %v", total, tEnd.Sub(0))
+	}
+}
+
+func TestRetransmissionTriggersTimeInc(t *testing.T) {
+	w := newPlusWire(DefaultConfig(), func(c *tcp.Config) {
+		c.InitialCwnd = 1
+		c.MinCwnd = 1
+	})
+	// OnTimeout must evaluate the machine with the retrans condition: the
+	// engine collapses cwnd to 1 <= MinCwnd before calling OnTimeout.
+	w.enh.OnTimeout(w.conn.Sender)
+	if w.enh.State() != StateTimeInc {
+		t.Errorf("state after RTO = %v, want TimeInc", w.enh.State())
+	}
+}
+
+func TestPacingDelayOnlyWhenEngaged(t *testing.T) {
+	w := newPlusWire(DefaultConfig(), func(c *tcp.Config) {
+		c.InitialCwnd = 1
+		c.MinCwnd = 1
+	})
+	e, s := w.enh, w.conn.Sender
+	if e.PacingDelay(s) != 0 {
+		t.Error("Normal state must not pace")
+	}
+	e.evolve(s, true, false)
+	e.evolve(s, true, false) // ensure some slow_time accumulated
+	if e.State() == StateTimeInc && e.SlowTime() > 0 {
+		// Randomized pacing: each draw lands in [slow/2, 3*slow/2).
+		for i := 0; i < 50; i++ {
+			d := e.PacingDelay(s)
+			if d < e.SlowTime()/2 || d >= e.SlowTime()/2+e.SlowTime() {
+				t.Fatalf("pacing draw %v outside [%v, %v)", d, e.SlowTime()/2, e.SlowTime()/2+e.SlowTime())
+			}
+		}
+	}
+}
+
+func TestPacingDelayDeterministicInPartialMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Randomize = false
+	w := newPlusWire(cfg, func(c *tcp.Config) {
+		c.InitialCwnd = 1
+		c.MinCwnd = 1
+	})
+	e, s := w.enh, w.conn.Sender
+	e.evolve(s, true, false)
+	if e.SlowTime() == 0 {
+		t.Fatal("no slow_time after congestion")
+	}
+	for i := 0; i < 10; i++ {
+		if e.PacingDelay(s) != e.SlowTime() {
+			t.Fatal("partial mode must pace by exactly slow_time")
+		}
+	}
+}
+
+func TestPartialModeDeterministicBackoff(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Randomize = false
+	w := newPlusWire(cfg, func(c *tcp.Config) {
+		c.InitialCwnd = 1
+		c.MinCwnd = 1
+	})
+	e, s := w.enh, w.conn.Sender
+	e.evolve(s, true, false)
+	if e.SlowTime() != cfg.BackoffUnit {
+		t.Errorf("partial-mode first step = %v, want exactly one unit", e.SlowTime())
+	}
+	e.evolve(s, true, false)
+	if e.SlowTime() != 2*cfg.BackoffUnit {
+		t.Errorf("partial-mode second step = %v, want exactly two units", e.SlowTime())
+	}
+}
+
+func TestRandomizedBackoffDiffersAcrossSenders(t *testing.T) {
+	// Two senders with different seeds must draw different slow_time
+	// sequences — this is the desynchronization mechanism.
+	mk := func(seed uint64) sim.Duration {
+		w := newPlusWire(DefaultConfig(), func(c *tcp.Config) {
+			c.InitialCwnd = 1
+			c.MinCwnd = 1
+			c.Seed = seed
+		})
+		for i := 0; i < 4; i++ {
+			w.enh.evolve(w.conn.Sender, true, false)
+		}
+		return w.enh.SlowTime()
+	}
+	a, b := mk(1), mk(2)
+	if a == b {
+		t.Errorf("seeds 1 and 2 produced identical slow_time %v", a)
+	}
+}
+
+// Property: slow_time is never negative, and in Normal state it is zero.
+func TestSlowTimeInvariantProperty(t *testing.T) {
+	f := func(events []bool, seed uint64) bool {
+		w := newPlusWire(DefaultConfig(), func(c *tcp.Config) {
+			c.InitialCwnd = 1
+			c.MinCwnd = 1
+			c.Seed = seed
+		})
+		e, s := w.enh, w.conn.Sender
+		for _, congested := range events {
+			e.evolve(s, congested, false)
+			if e.SlowTime() < 0 {
+				return false
+			}
+			if e.State() == StateNormal && e.SlowTime() != 0 {
+				return false
+			}
+			if e.State() != StateNormal && e.SlowTime() > 0 {
+				if d := e.PacingDelay(s); d < e.SlowTime()/2 || d >= e.SlowTime()/2+e.SlowTime() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEndToEndEngagesUnderHeavyMarking(t *testing.T) {
+	// Integration: persistent CE marking drives the window to the floor
+	// and must engage the pacing machine, slowing the send rate.
+	w := newPlusWire(DefaultConfig(), nil)
+	*w.mark = true
+	engaged := false
+	w.conn.Sender.OnAckProbe = func(s *tcp.Sender, _ bool) {
+		if w.enh.State() != StateNormal {
+			engaged = true
+		}
+	}
+	done := false
+	w.conn.Sender.OnComplete = func(int64) { done = true }
+	w.conn.Sender.Send(200 * packet.MSS)
+	w.sched.RunUntil(sim.Time(30 * sim.Second))
+	if !done {
+		t.Fatal("transfer incomplete")
+	}
+	if !engaged {
+		t.Error("enhancement mechanism never engaged under full marking")
+	}
+	if w.enh.Stats().EnterTimeInc == 0 {
+		t.Error("no TimeInc entries recorded")
+	}
+	if got := w.conn.Receiver.Stats().DeliveredByte; got != 200*packet.MSS {
+		t.Errorf("delivered %d", got)
+	}
+}
+
+func TestEndToEndCleanPathStaysNormal(t *testing.T) {
+	w := newPlusWire(DefaultConfig(), nil)
+	w.conn.Sender.Send(1 << 20)
+	w.sched.Run()
+	if !w.conn.Sender.Done() {
+		t.Fatal("transfer incomplete")
+	}
+	if w.enh.State() != StateNormal || w.enh.Stats().EnterTimeInc != 0 {
+		t.Errorf("clean path engaged the mechanism: %v %+v", w.enh.State(), w.enh.Stats())
+	}
+}
+
+func TestEnhancedRenoWorks(t *testing.T) {
+	// §VII extension: the mechanism composed with Reno-ECN must still
+	// complete transfers.
+	s := sim.NewScheduler()
+	a := netsim.NewHost(s, 1, "a")
+	b := netsim.NewHost(s, 2, "b")
+	mark := new(bool)
+	*mark = true
+	shim := &ceShim{dst: b, mark: mark}
+	a.SetUplink(netsim.NewPort(s, netsim.NewLink(s, shim, 1e9, 50*sim.Microsecond),
+		netsim.PortConfig{BufferBytes: 4 << 20}))
+	b.SetUplink(netsim.NewPort(s, netsim.NewLink(s, a, 1e9, 50*sim.Microsecond),
+		netsim.PortConfig{BufferBytes: 4 << 20}))
+	cfg := tcp.DefaultConfig()
+	cfg.ECN = tcp.ECNClassic
+	cfg.MinCwnd = 1
+	enh := Enhance(tcp.NewReno{}, DefaultConfig())
+	c := tcp.NewConn(cfg, enh, a, b, 3)
+	done := false
+	c.Sender.OnComplete = func(int64) { done = true }
+	c.Sender.Send(100 * packet.MSS)
+	s.RunUntil(sim.Time(30 * sim.Second))
+	if !done {
+		t.Fatal("reno+ transfer incomplete")
+	}
+}

@@ -1,0 +1,347 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"dctcpplus/internal/sim"
+)
+
+// This file packages each of the paper's evaluation artifacts as a typed,
+// self-describing experiment: construct the default spec (or adjust its
+// fields), Run it, and Render the same rows/series the paper reports.
+// cmd/report chains them; tests pin their shapes.
+
+// Scale applies common run-length settings to every figure spec.
+type Scale struct {
+	Rounds int
+	Warmup int
+	Seed   uint64
+}
+
+// DefaultScale balances statistical stability against runtime; the paper's
+// own 1000-round scale is Scale{1000, 10, 1}.
+func DefaultScale() Scale { return Scale{Rounds: 50, Warmup: 10, Seed: 1} }
+
+func (sc Scale) apply(o *IncastOptions) {
+	o.Rounds = sc.Rounds
+	o.WarmupRounds = sc.Warmup
+	o.Testbed.Seed = sc.Seed
+}
+
+// Figure1 is the basic incast goodput comparison (DCTCP vs TCP).
+type Figure1 struct {
+	Scale      Scale
+	Protocols  []Protocol
+	FlowCounts []int
+
+	Results []IncastResult
+}
+
+// NewFigure1 returns the paper's Figure 1 specification.
+func NewFigure1() *Figure1 {
+	return &Figure1{
+		Scale:      DefaultScale(),
+		Protocols:  []Protocol{ProtoTCP, ProtoDCTCP},
+		FlowCounts: []int{1, 5, 10, 20, 30, 40, 60, 80, 100},
+	}
+}
+
+// Run executes the sweep (points in parallel).
+func (f *Figure1) Run() {
+	f.Results = f.Results[:0]
+	for _, p := range f.Protocols {
+		o := DefaultIncastOptions(p, 0)
+		f.Scale.apply(&o)
+		f.Results = append(f.Results, SweepIncastParallel(o, f.FlowCounts)...)
+	}
+}
+
+// Render writes the figure's rows.
+func (f *Figure1) Render(w io.Writer) { PrintIncastRows(w, f.Results) }
+
+// Figure2Table1 is the cwnd-distribution and timeout-taxonomy analysis.
+type Figure2Table1 struct {
+	Scale      Scale
+	Protocols  []Protocol
+	FlowCounts []int
+
+	Results []IncastResult
+}
+
+// NewFigure2Table1 returns the paper's Figure 2 / Table I specification.
+func NewFigure2Table1() *Figure2Table1 {
+	return &Figure2Table1{
+		Scale:      DefaultScale(),
+		Protocols:  []Protocol{ProtoDCTCP, ProtoTCP},
+		FlowCounts: []int{10, 20, 40, 60},
+	}
+}
+
+// Run executes every (protocol, N) point with cwnd probes attached.
+func (f *Figure2Table1) Run() {
+	var optList []IncastOptions
+	for _, p := range f.Protocols {
+		for _, n := range f.FlowCounts {
+			o := DefaultIncastOptions(p, n)
+			f.Scale.apply(&o)
+			o.CollectCwnd = true
+			optList = append(optList, o)
+		}
+	}
+	f.Results = RunMany(optList)
+}
+
+// Render writes both the Figure 2 histogram rows and the Table I
+// percentages.
+func (f *Figure2Table1) Render(w io.Writer) {
+	fmt.Fprintf(w, "%-12s %4s |", "protocol", "N")
+	for i := 1; i <= 8; i++ {
+		fmt.Fprintf(w, " w=%-4d", i)
+	}
+	fmt.Fprintf(w, " %s\n", "w>8")
+	for _, r := range f.Results {
+		h := r.CwndHist
+		var gt float64
+		for _, b := range h.Bins() {
+			if b > 8 {
+				gt += h.Frac(b)
+			}
+		}
+		fmt.Fprintf(w, "%-12s %4d |", r.Protocol, r.Flows)
+		for i := 1; i <= 8; i++ {
+			fmt.Fprintf(w, " %5.3f", h.Frac(i))
+		}
+		fmt.Fprintf(w, " %5.3f\n", gt)
+	}
+	fmt.Fprintf(w, "\n%-12s %4s %14s %10s %10s %10s\n",
+		"protocol", "N", "cwndMin&ECE", "timeout", "FLoss-TO", "LAck-TO")
+	for _, r := range f.Results {
+		tot := r.FLossTO + r.LAckTO
+		fl, la := 0.0, 0.0
+		if tot > 0 {
+			fl = 100 * float64(r.FLossTO) / float64(tot)
+			la = 100 * float64(r.LAckTO) / float64(tot)
+		}
+		fmt.Fprintf(w, "%-12s %4d %13.2f%% %9.2f%% %9.2f%% %9.2f%%\n",
+			r.Protocol, r.Flows, 100*r.MinCwndECEFrac, 100*r.TimeoutRoundFrac, fl, la)
+	}
+}
+
+// Figure7 is the headline comparison (also covers Figure 6 via the partial
+// protocol and Figure 8 via BaselineRTOMin).
+type Figure7 struct {
+	Scale      Scale
+	Protocols  []Protocol
+	FlowCounts []int
+	// BaselineRTOMin, when nonzero, applies to every protocol except
+	// DCTCP+ variants — the Figure 8 configuration.
+	BaselineRTOMin sim.Duration
+
+	Results []IncastResult
+}
+
+// NewFigure7 returns the paper's Figure 7 specification.
+func NewFigure7() *Figure7 {
+	return &Figure7{
+		Scale:      DefaultScale(),
+		Protocols:  []Protocol{ProtoDCTCPPlus, ProtoDCTCP, ProtoTCP},
+		FlowCounts: []int{20, 60, 120, 200},
+	}
+}
+
+// NewFigure6 returns the partial-implementation ablation of Figure 6.
+func NewFigure6() *Figure7 {
+	f := NewFigure7()
+	f.Protocols = []Protocol{ProtoDCTCPPlusPartial, ProtoDCTCPPlus}
+	return f
+}
+
+// NewFigure8 returns Figure 8: baselines at RTOmin = 10ms.
+func NewFigure8() *Figure7 {
+	f := NewFigure7()
+	f.BaselineRTOMin = 10 * sim.Millisecond
+	return f
+}
+
+// Run executes the sweeps.
+func (f *Figure7) Run() {
+	f.Results = f.Results[:0]
+	for _, p := range f.Protocols {
+		o := DefaultIncastOptions(p, 0)
+		f.Scale.apply(&o)
+		if f.BaselineRTOMin > 0 && p != ProtoDCTCPPlus && p != ProtoDCTCPPlusPartial {
+			o.RTOMin = f.BaselineRTOMin
+		}
+		f.Results = append(f.Results, SweepIncastParallel(o, f.FlowCounts)...)
+	}
+}
+
+// Render writes the figure's rows.
+func (f *Figure7) Render(w io.Writer) { PrintIncastRows(w, f.Results) }
+
+// Figure9 is the bottleneck queue-length CDF comparison.
+type Figure9 struct {
+	Scale       Scale
+	Protocols   []Protocol
+	FlowCounts  []int
+	SampleEvery sim.Duration
+
+	Results []IncastResult
+}
+
+// NewFigure9 returns the paper's Figure 9 specification.
+func NewFigure9() *Figure9 {
+	return &Figure9{
+		Scale:       DefaultScale(),
+		Protocols:   []Protocol{ProtoDCTCPPlus, ProtoDCTCP, ProtoTCP},
+		FlowCounts:  []int{30, 50, 80},
+		SampleEvery: 100 * sim.Microsecond,
+	}
+}
+
+// Run executes every point with the queue sampler attached.
+func (f *Figure9) Run() {
+	var optList []IncastOptions
+	for _, n := range f.FlowCounts {
+		for _, p := range f.Protocols {
+			o := DefaultIncastOptions(p, n)
+			f.Scale.apply(&o)
+			o.QueueSampleEvery = f.SampleEvery
+			optList = append(optList, o)
+		}
+	}
+	f.Results = RunMany(optList)
+}
+
+// Render writes queue-CDF quantile rows.
+func (f *Figure9) Render(w io.Writer) {
+	fmt.Fprintf(w, "%-14s %4s | %9s %9s %9s %9s %9s\n",
+		"protocol", "N", "p25", "p50", "p90", "p99", "max")
+	for _, r := range f.Results {
+		cdf := r.QueueCDF()
+		fmt.Fprintf(w, "%-14s %4d | %9.0f %9.0f %9.0f %9.0f %9.0f\n",
+			r.Protocol, r.Flows, cdf.Quantile(0.25), cdf.Quantile(0.5),
+			cdf.Quantile(0.9), cdf.Quantile(0.99), cdf.Quantile(1))
+	}
+}
+
+// Figure11_12 is the incast-with-background-flows experiment.
+type Figure11_12 struct {
+	Scale           Scale
+	Protocols       []Protocol
+	FlowCounts      []int
+	BackgroundFlows int
+	ChunkBytes      int64
+
+	Results []BackgroundIncastResult
+}
+
+// NewFigure11_12 returns the paper's §VI-C specification.
+func NewFigure11_12() *Figure11_12 {
+	return &Figure11_12{
+		Scale:           DefaultScale(),
+		Protocols:       []Protocol{ProtoDCTCPPlus, ProtoDCTCP, ProtoTCP},
+		FlowCounts:      []int{20, 60, 120},
+		BackgroundFlows: 2,
+		ChunkBytes:      1 << 20,
+	}
+}
+
+// Run executes the sweeps.
+func (f *Figure11_12) Run() {
+	f.Results = f.Results[:0]
+	for _, p := range f.Protocols {
+		o := DefaultBackgroundIncastOptions(p, 0)
+		f.Scale.apply(&o.Incast)
+		o.BackgroundFlows = f.BackgroundFlows
+		o.ChunkBytes = f.ChunkBytes
+		f.Results = append(f.Results, SweepBackgroundIncastParallel(o, f.FlowCounts)...)
+	}
+}
+
+// Render writes the figure's rows.
+func (f *Figure11_12) Render(w io.Writer) { PrintBackgroundIncastRows(w, f.Results) }
+
+// Figure13 is the production benchmark-traffic experiment.
+type Figure13 struct {
+	Protocols  []Protocol
+	Queries    int
+	Background int
+	RTOMin     sim.Duration
+	Seed       uint64
+
+	Results []BenchmarkResult
+}
+
+// NewFigure13 returns the paper's §VI-D specification at reduced scale
+// (the paper runs 7,000 + 7,000).
+func NewFigure13() *Figure13 {
+	return &Figure13{
+		Protocols:  []Protocol{ProtoDCTCPPlus, ProtoDCTCP},
+		Queries:    1000,
+		Background: 1000,
+		RTOMin:     10 * sim.Millisecond,
+		Seed:       1,
+	}
+}
+
+// Run executes the benchmark for each protocol. Short messages scale with
+// the query count so every class spans comparable virtual time.
+func (f *Figure13) Run() {
+	f.Results = f.Results[:0]
+	for _, p := range f.Protocols {
+		o := DefaultBenchmarkOptions(p)
+		o.RTOMin = f.RTOMin
+		o.Testbed.Seed = f.Seed
+		o.Traffic.Queries = f.Queries
+		o.Traffic.ShortFlows = f.Queries / 4
+		o.Traffic.BackgroundFlows = f.Background
+		f.Results = append(f.Results, RunBenchmark(o))
+	}
+}
+
+// Render writes the figure's rows.
+func (f *Figure13) Render(w io.Writer) { PrintBenchmarkRows(w, f.Results) }
+
+// Figure14 is the convergence trace: 50 DCTCP+ flows at 4MB each.
+type Figure14 struct {
+	Scale        Scale
+	Flows        int
+	BytesPerFlow int64
+	Rounds       int
+
+	Result IncastResult
+}
+
+// NewFigure14 returns the paper's Figure 14 specification.
+func NewFigure14() *Figure14 {
+	return &Figure14{
+		Scale:        DefaultScale(),
+		Flows:        50,
+		BytesPerFlow: 4 << 20,
+		Rounds:       8,
+	}
+}
+
+// Run executes the trace.
+func (f *Figure14) Run() {
+	o := DefaultIncastOptions(ProtoDCTCPPlus, f.Flows)
+	o.BytesPerFlow = f.BytesPerFlow
+	o.Rounds = f.Rounds
+	o.WarmupRounds = 1
+	o.Testbed.Seed = f.Scale.Seed
+	o.KeepRounds = true
+	o.QueueSampleEvery = 100 * sim.Microsecond
+	f.Result = RunIncast(o)
+}
+
+// Render writes the per-round series and the convergence verdict.
+func (f *Figure14) Render(w io.Writer) {
+	for i, p := range f.Result.Series {
+		fmt.Fprintf(w, "round %d: fct=%8.1fms goodput=%5.0f Mbps flowTimeouts=%d\n",
+			i, p.FCTms, p.GoodputMbps, p.FlowTimeouts)
+	}
+	fmt.Fprintf(w, "converged at round %d; bottleneck drops %d\n",
+		f.Result.ConvergedAtRound(), f.Result.BottleneckDrops)
+}

@@ -1,0 +1,337 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"dctcpplus/internal/netsim"
+	"dctcpplus/internal/sim"
+	"dctcpplus/internal/stats"
+	"dctcpplus/internal/trace"
+	"dctcpplus/internal/workload"
+)
+
+// Testbed describes the simulated cluster shared by every experiment: the
+// paper's 2-tier tree of 9 workers + 1 aggregator over 1Gbps GbE switches
+// with 128KB per-port buffers and K=32KB.
+type Testbed struct {
+	Leaves       int
+	HostsPerLeaf int
+	Topo         netsim.TopologyConfig
+
+	// ServiceJitter staggers worker responses (see workload.IncastConfig);
+	// the default models the multithreaded benchmark's scheduling spread
+	// on dual-core servers.
+	ServiceJitter sim.Duration
+
+	// Seed drives all workload-level randomness.
+	Seed uint64
+}
+
+// DefaultTestbed returns the paper's cluster parameters. ServiceJitter
+// models the response stagger of the multithreaded benchmark: with N up to
+// 200 flows over nine dual-core servers, each machine time-slices ~22
+// sender threads, spreading response starts over several milliseconds.
+func DefaultTestbed() Testbed {
+	return Testbed{
+		Leaves:        3,
+		HostsPerLeaf:  3,
+		Topo:          netsim.DefaultTopologyConfig(),
+		ServiceJitter: 4 * sim.Millisecond,
+		Seed:          1,
+	}
+}
+
+// HULLTestbed returns the cluster with HULL phantom-queue marking at every
+// switch port instead of the DCTCP threshold — the §VII composition with
+// the HULL architecture. Pair it with the DCTCP or DCTCP+ protocols: the
+// phantom queue marks before any real queue builds, trading ~5% of
+// bandwidth for near-empty buffers.
+func HULLTestbed() Testbed {
+	tb := DefaultTestbed()
+	tb.Topo.SwitchPort = netsim.HULLPortConfig()
+	return tb
+}
+
+// build constructs a fresh scheduler and topology.
+func (tb Testbed) build() (*sim.Scheduler, *netsim.TwoTier) {
+	sched := sim.NewScheduler()
+	return sched, netsim.NewTwoTier(sched, tb.Leaves, tb.HostsPerLeaf, tb.Topo)
+}
+
+// IncastOptions parameterizes one incast run (one point of Figs. 1/6/7/8,
+// or the instrumented runs behind Fig. 2, Table I, Fig. 9 and Fig. 14).
+type IncastOptions struct {
+	Testbed  Testbed
+	Protocol Protocol
+
+	// Flows is N. TotalBytes is split evenly across flows per round (the
+	// paper requests 1MB/N from each of N workers); if BytesPerFlow is
+	// nonzero it overrides the split (Fig. 14 uses 4MB per flow).
+	Flows        int
+	TotalBytes   int64
+	BytesPerFlow int64
+
+	Rounds int
+	// WarmupRounds are excluded from the reported statistics: the paper
+	// averages 1000 rounds, where the initial convergence rounds (§VII,
+	// Fig. 14) are statistically invisible; our shorter runs exclude them
+	// explicitly.
+	WarmupRounds int
+
+	RTOMin sim.Duration
+
+	// CollectCwnd attaches per-ACK cwnd probes (Fig. 2 / Table I).
+	CollectCwnd bool
+	// QueueSampleEvery samples the bottleneck queue at this period
+	// (100us in the paper); zero disables sampling.
+	QueueSampleEvery sim.Duration
+
+	// MaxSimTime bounds the run (safety against pathological stalls).
+	MaxSimTime sim.Duration
+
+	// Factory, when non-nil, overrides Protocol's default endpoint
+	// construction (used by the ablation benches to inject custom DCTCP+
+	// parameters; see DCTCPPlusFactory).
+	Factory workload.FlowFactory
+
+	// KeepRounds retains the per-round series (including warmup) in the
+	// result, for convergence analysis (§VII / Fig. 14).
+	KeepRounds bool
+}
+
+// RoundPoint is one round of an incast run, retained when KeepRounds is
+// set.
+type RoundPoint struct {
+	Start        sim.Time
+	FCTms        float64
+	GoodputMbps  float64
+	FlowTimeouts int // flows that hit at least one RTO this round
+}
+
+// DefaultIncastOptions returns the basic-incast settings (§VI-B): 1MB
+// split over N flows, 200ms RTOmin.
+func DefaultIncastOptions(p Protocol, flows int) IncastOptions {
+	return IncastOptions{
+		Testbed:      DefaultTestbed(),
+		Protocol:     p,
+		Flows:        flows,
+		TotalBytes:   1 << 20,
+		Rounds:       50,
+		WarmupRounds: 10,
+		RTOMin:       200 * sim.Millisecond,
+		MaxSimTime:   30 * 60 * sim.Second,
+	}
+}
+
+func (o IncastOptions) perFlowBytes() int64 {
+	if o.BytesPerFlow > 0 {
+		return o.BytesPerFlow
+	}
+	per := o.TotalBytes / int64(o.Flows)
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// IncastResult is one completed incast experiment point.
+type IncastResult struct {
+	Protocol Protocol
+	Flows    int
+	Rounds   int // measured rounds (after warmup)
+
+	// GoodputMbps and FCTms summarize the measured rounds — the y-axes of
+	// Figs. 1/6/7/8/11/12.
+	GoodputMbps stats.Summary
+	FCTms       stats.Summary
+
+	// Table I columns (fractions over flowxround "transmissions"):
+	MinCwndECEFrac   float64 // P[flow sent with cwnd at floor while ECE set]
+	TimeoutRoundFrac float64 // P[flow hit >=1 RTO in a round]
+	Timeouts         int64   // total RTO count (measured rounds included only via flags; this is whole-run)
+	FLossTO          int64
+	LAckTO           int64
+
+	// CwndHist is the merged per-ACK cwnd histogram in MSS (Fig. 2);
+	// nil unless CollectCwnd.
+	CwndHist *stats.Hist
+	// ECEAtMinFrac is the fraction of ACK events at the window floor with
+	// ECE set; only meaningful with CollectCwnd.
+	ECEAtMinFrac float64
+
+	// Queue observations (Figs. 9/14); nil unless QueueSampleEvery > 0.
+	QueueSamples []trace.QueueSample
+
+	// BottleneckDrops counts tail drops at the root->aggregator port.
+	BottleneckDrops int64
+
+	// Series holds every round (warmup included) when KeepRounds was set.
+	Series []RoundPoint
+}
+
+// ConvergedAtRound returns the index of the first round after which no
+// round saw a flow timeout, or -1 if the run never converged (or the
+// series was not kept). This quantifies the paper's §VII observation that
+// DCTCP+ "needs several cycles of RTTs to enter the enhancement
+// mechanism" — the first rounds may overflow, then the system stabilizes.
+func (r IncastResult) ConvergedAtRound() int {
+	if len(r.Series) == 0 {
+		return -1
+	}
+	last := -1
+	for i, p := range r.Series {
+		if p.FlowTimeouts > 0 {
+			last = i
+		}
+	}
+	if last == len(r.Series)-1 {
+		return -1 // still timing out at the end
+	}
+	return last + 1
+}
+
+// QueueCDF builds the queue-length CDF (Fig. 9) from the samples.
+func (r IncastResult) QueueCDF() *stats.CDF {
+	vals := make([]float64, len(r.QueueSamples))
+	for i, s := range r.QueueSamples {
+		vals[i] = float64(s.Bytes)
+	}
+	return stats.NewCDF(vals)
+}
+
+// RunIncast executes one incast experiment point.
+func RunIncast(o IncastOptions) IncastResult {
+	if o.Rounds <= o.WarmupRounds {
+		panic("exp: Rounds must exceed WarmupRounds")
+	}
+	if o.MaxSimTime <= 0 {
+		o.MaxSimTime = 30 * 60 * sim.Second
+	}
+	sched, tt := o.Testbed.build()
+	factory := o.Factory
+	if factory == nil {
+		factory = o.Protocol.Factory(o.RTOMin, o.Testbed.Seed)
+	}
+	in := workload.NewIncast(sched, tt, workload.IncastConfig{
+		Flows:         o.Flows,
+		BytesPerFlow:  o.perFlowBytes(),
+		Rounds:        o.Rounds,
+		Factory:       factory,
+		ServiceJitter: o.Testbed.ServiceJitter,
+		Seed:          o.Testbed.Seed,
+	})
+
+	var probes []*trace.CwndProbe
+	if o.CollectCwnd {
+		for _, c := range in.Conns() {
+			p := trace.NewCwndProbe()
+			p.Attach(c.Sender)
+			probes = append(probes, p)
+		}
+	}
+	var sampler *trace.QueueSampler
+	if o.QueueSampleEvery > 0 {
+		sampler = trace.NewQueueSampler(sched, tt.BottleneckPort, o.QueueSampleEvery)
+		sampler.Start()
+	}
+
+	in.OnFinished = sched.Halt
+	in.Start()
+	sched.RunUntil(sim.Time(o.MaxSimTime))
+
+	res := IncastResult{
+		Protocol: o.Protocol,
+		Flows:    o.Flows,
+	}
+	if o.KeepRounds {
+		for _, r := range in.Results() {
+			pt := RoundPoint{
+				Start:       r.Start,
+				FCTms:       r.FCT.Millis(),
+				GoodputMbps: r.GoodputMbps(),
+			}
+			for _, f := range r.Flows {
+				if f.Timeout {
+					pt.FlowTimeouts++
+				}
+			}
+			res.Series = append(res.Series, pt)
+		}
+	}
+	measured := in.Results()
+	if len(measured) > o.WarmupRounds {
+		measured = measured[o.WarmupRounds:]
+	}
+	res.Rounds = len(measured)
+
+	var goodputs, fcts []float64
+	var timeoutFlags, eceFlags, totalFlags int64
+	for _, r := range measured {
+		goodputs = append(goodputs, r.GoodputMbps())
+		fcts = append(fcts, r.FCT.Millis())
+		for _, f := range r.Flows {
+			totalFlags++
+			if f.Timeout {
+				timeoutFlags++
+			}
+			if f.MinCwndECE {
+				eceFlags++
+			}
+		}
+	}
+	res.GoodputMbps = stats.Summarize(goodputs)
+	res.FCTms = stats.Summarize(fcts)
+	if totalFlags > 0 {
+		res.TimeoutRoundFrac = float64(timeoutFlags) / float64(totalFlags)
+		res.MinCwndECEFrac = float64(eceFlags) / float64(totalFlags)
+	}
+
+	for _, c := range in.Conns() {
+		st := c.Sender.Stats()
+		res.Timeouts += st.Timeouts
+		res.FLossTO += st.FLossTimeouts
+		res.LAckTO += st.LAckTimeouts
+	}
+	if o.CollectCwnd {
+		res.CwndHist = stats.NewHist()
+		var eceAtMin, events int64
+		for _, p := range probes {
+			res.CwndHist.Merge(p.Hist())
+			events += p.Events()
+			eceAtMin += int64(p.ECEAtMinFrac() * float64(p.Events()))
+		}
+		if events > 0 {
+			res.ECEAtMinFrac = float64(eceAtMin) / float64(events)
+		}
+	}
+	if sampler != nil {
+		sampler.Stop()
+		res.QueueSamples = sampler.Samples()
+	}
+	res.BottleneckDrops = tt.BottleneckPort.Stats().DroppedPkts
+	return res
+}
+
+// SweepIncast runs the same options across multiple flow counts — one
+// figure curve.
+func SweepIncast(base IncastOptions, flowCounts []int) []IncastResult {
+	out := make([]IncastResult, 0, len(flowCounts))
+	for _, n := range flowCounts {
+		o := base
+		o.Flows = n
+		out = append(out, RunIncast(o))
+	}
+	return out
+}
+
+// PrintIncastRows writes a figure curve as aligned text rows.
+func PrintIncastRows(w io.Writer, results []IncastResult) {
+	fmt.Fprintf(w, "%-14s %5s %10s %10s %10s %10s %9s\n",
+		"protocol", "N", "goodput", "fct.mean", "fct.p95", "fct.p99", "timeouts")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-14s %5d %7.0f Mb %8.2fms %8.2fms %8.2fms %9d\n",
+			r.Protocol, r.Flows, r.GoodputMbps.Mean,
+			r.FCTms.Mean, r.FCTms.P95, r.FCTms.P99, r.Timeouts)
+	}
+}

@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	base := fastIncastOpts(ProtoDCTCPPlus, 0)
+	counts := []int{4, 8, 12}
+	seq := SweepIncast(base, counts)
+	par := SweepIncastParallel(base, counts)
+	if len(seq) != len(par) {
+		t.Fatal("length mismatch")
+	}
+	for i := range seq {
+		if seq[i].GoodputMbps != par[i].GoodputMbps ||
+			seq[i].FCTms != par[i].FCTms ||
+			seq[i].Timeouts != par[i].Timeouts {
+			t.Errorf("point %d differs: seq %+v vs par %+v", i, seq[i].GoodputMbps, par[i].GoodputMbps)
+		}
+	}
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	const n = 100
+	var hits [n]int32
+	parallelFor(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d executed %d times", i, h)
+		}
+	}
+}
+
+func TestParallelForZeroAndOne(t *testing.T) {
+	parallelFor(0, func(int) { t.Fatal("fn called for n=0") })
+	called := 0
+	old := Parallelism
+	Parallelism = 1
+	defer func() { Parallelism = old }()
+	parallelFor(3, func(int) { called++ })
+	if called != 3 {
+		t.Errorf("called = %d", called)
+	}
+}
+
+func TestRunMany(t *testing.T) {
+	optList := []IncastOptions{
+		fastIncastOpts(ProtoDCTCP, 4),
+		fastIncastOpts(ProtoDCTCPPlus, 6),
+	}
+	out := RunMany(optList)
+	if len(out) != 2 {
+		t.Fatal("length")
+	}
+	if out[0].Protocol != ProtoDCTCP || out[0].Flows != 4 {
+		t.Error("point 0 identity wrong")
+	}
+	if out[1].Protocol != ProtoDCTCPPlus || out[1].Flows != 6 {
+		t.Error("point 1 identity wrong")
+	}
+}
+
+func TestParallelBackgroundSweep(t *testing.T) {
+	o := DefaultBackgroundIncastOptions(ProtoDCTCPPlus, 0)
+	o.Incast.Rounds = 5
+	o.Incast.WarmupRounds = 1
+	o.ChunkBytes = 1 << 20
+	rs := SweepBackgroundIncastParallel(o, []int{4, 6})
+	if len(rs) != 2 || rs[0].Flows != 4 || rs[1].Flows != 6 {
+		t.Fatal("shape wrong")
+	}
+}

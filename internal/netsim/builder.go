@@ -1,0 +1,118 @@
+package netsim
+
+import (
+	"fmt"
+
+	"dctcpplus/internal/sim"
+)
+
+// Builder assembles custom topologies from hosts, switches and
+// bidirectional attachments, with automatic node-id allocation and route
+// installation. The stock Star/TwoTier builders cover the paper's
+// experiments; Builder is the public construction surface for everything
+// else (dumbbells, multi-tier trees, asymmetric fabrics).
+//
+// Routing: attachments install direct routes; trunks do not route by
+// themselves — call Route (or RouteAllVia for a default uplink) after
+// wiring. Builder topologies must be loop-free; the per-packet hop guard
+// panics on routing loops during simulation.
+type Builder struct {
+	sched *sim.Scheduler
+	cfg   TopologyConfig
+	ids   idAllocator
+
+	hosts    []*Host
+	switches []*Switch
+}
+
+// NewBuilder starts a topology with the given shared link/port parameters.
+func NewBuilder(sched *sim.Scheduler, cfg TopologyConfig) *Builder {
+	if cfg.LinkRateBps <= 0 || cfg.HostQueueBytes <= 0 {
+		panic("netsim: builder needs positive link rate and host queue")
+	}
+	return &Builder{sched: sched, cfg: cfg}
+}
+
+// Host creates a named host (unattached until Attach is called).
+func (b *Builder) Host(name string) *Host {
+	h := NewHost(b.sched, b.ids.alloc(), name)
+	b.hosts = append(b.hosts, h)
+	return h
+}
+
+// Switch creates a named switch.
+func (b *Builder) Switch(name string) *Switch {
+	sw := NewSwitch(b.sched, b.ids.alloc(), name)
+	b.switches = append(b.switches, sw)
+	return sw
+}
+
+// Attach wires host <-> sw bidirectionally and installs the switch's direct
+// route to the host.
+func (b *Builder) Attach(h *Host, sw *Switch) {
+	if h.Uplink() != nil {
+		panic(fmt.Sprintf("netsim: host %s already attached", h.Name()))
+	}
+	connect(b.sched, h, sw, b.cfg)
+}
+
+// Trunk wires a bidirectional switch <-> switch link and returns the two
+// directed ports (a->b, b->a) for route installation.
+func (b *Builder) Trunk(a, sw *Switch) (ab, ba *Port) {
+	return trunk(b.sched, a, sw, b.cfg)
+}
+
+// Route installs "to reach dst, sw forwards out of port".
+func (b *Builder) Route(sw *Switch, dst *Host, out *Port) {
+	sw.AddRoute(dst.ID(), out)
+}
+
+// RouteAllVia installs routes on sw for every built host that sw cannot
+// already reach, via the given port — the "default uplink" idiom.
+func (b *Builder) RouteAllVia(sw *Switch, out *Port) {
+	for _, h := range b.hosts {
+		if sw.RouteTo(h.ID()) == nil {
+			sw.AddRoute(h.ID(), out)
+		}
+	}
+}
+
+// Hosts returns all hosts in creation order.
+func (b *Builder) Hosts() []*Host { return b.hosts }
+
+// Switches returns all switches in creation order.
+func (b *Builder) Switches() []*Switch { return b.switches }
+
+// Dumbbell is the classic two-switch topology: left hosts on one switch,
+// right hosts on the other, a single trunk as the shared bottleneck.
+type Dumbbell struct {
+	Left, Right []*Host
+	LeftSw      *Switch
+	RightSw     *Switch
+	// TrunkLR is the bottleneck port carrying left->right traffic.
+	TrunkLR *Port
+	// TrunkRL carries right->left traffic (ACK path for left->right flows).
+	TrunkRL *Port
+}
+
+// NewDumbbell builds a dumbbell with n hosts on each side.
+func NewDumbbell(sched *sim.Scheduler, n int, cfg TopologyConfig) *Dumbbell {
+	if n <= 0 {
+		panic("netsim: dumbbell needs at least one host per side")
+	}
+	b := NewBuilder(sched, cfg)
+	ls, rs := b.Switch("left"), b.Switch("right")
+	d := &Dumbbell{LeftSw: ls, RightSw: rs}
+	d.TrunkLR, d.TrunkRL = b.Trunk(ls, rs)
+	for i := 0; i < n; i++ {
+		l := b.Host(fmt.Sprintf("left%d", i))
+		b.Attach(l, ls)
+		d.Left = append(d.Left, l)
+		r := b.Host(fmt.Sprintf("right%d", i))
+		b.Attach(r, rs)
+		d.Right = append(d.Right, r)
+	}
+	b.RouteAllVia(ls, d.TrunkLR)
+	b.RouteAllVia(rs, d.TrunkRL)
+	return d
+}

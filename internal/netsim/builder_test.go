@@ -1,0 +1,145 @@
+package netsim
+
+import (
+	"testing"
+
+	"dctcpplus/internal/packet"
+	"dctcpplus/internal/sim"
+)
+
+func TestDumbbellDelivery(t *testing.T) {
+	s := sim.NewScheduler()
+	d := NewDumbbell(s, 3, DefaultTopologyConfig())
+	if len(d.Left) != 3 || len(d.Right) != 3 {
+		t.Fatal("shape wrong")
+	}
+	// Every left host reaches every right host and vice versa.
+	flow := packet.FlowID(1)
+	for _, l := range d.Left {
+		for _, r := range d.Right {
+			got := 0
+			f := flow
+			r.Register(f, FlowHandlerFunc(func(*packet.Packet) { got++ }))
+			l.Send(&packet.Packet{Dst: r.ID(), Flow: f, Payload: 10})
+			s.Run()
+			if got != 1 {
+				t.Fatalf("%s -> %s failed", l.Name(), r.Name())
+			}
+			r.Unregister(f)
+			flow++
+		}
+	}
+	// Reverse direction.
+	got := 0
+	d.Left[0].Register(999, FlowHandlerFunc(func(*packet.Packet) { got++ }))
+	d.Right[2].Send(&packet.Packet{Dst: d.Left[0].ID(), Flow: 999, Flags: packet.FlagACK})
+	s.Run()
+	if got != 1 {
+		t.Fatal("reverse delivery failed")
+	}
+}
+
+func TestDumbbellSameSideDelivery(t *testing.T) {
+	s := sim.NewScheduler()
+	d := NewDumbbell(s, 2, DefaultTopologyConfig())
+	got := 0
+	d.Left[1].Register(5, FlowHandlerFunc(func(p *packet.Packet) {
+		got++
+		if p.Hops() != 2 {
+			t.Errorf("same-side hops = %d, want 2", p.Hops())
+		}
+	}))
+	d.Left[0].Send(&packet.Packet{Dst: d.Left[1].ID(), Flow: 5, Payload: 1})
+	s.Run()
+	if got != 1 {
+		t.Fatal("same-side delivery failed")
+	}
+}
+
+func TestDumbbellBottleneckIsTrunk(t *testing.T) {
+	s := sim.NewScheduler()
+	d := NewDumbbell(s, 4, DefaultTopologyConfig())
+	// Blast from all left hosts to one right host: the trunk port queues.
+	for i, l := range d.Left {
+		for j := 0; j < 20; j++ {
+			l.Send(&packet.Packet{Dst: d.Right[0].ID(), Flow: packet.FlowID(i + 1),
+				Payload: packet.MSS, ECN: packet.ECT})
+		}
+	}
+	var maxTrunk int
+	d.TrunkLR.OnQueueChange = func(_ sim.Time, q int) {
+		if q > maxTrunk {
+			maxTrunk = q
+		}
+	}
+	s.Run()
+	if d.TrunkLR.Stats().EnqueuedPkts == 0 {
+		t.Error("trunk carried nothing")
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	s := sim.NewScheduler()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero-rate builder did not panic")
+			}
+		}()
+		NewBuilder(s, TopologyConfig{})
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("dumbbell n=0 did not panic")
+			}
+		}()
+		NewDumbbell(s, 0, DefaultTopologyConfig())
+	}()
+	b := NewBuilder(s, DefaultTopologyConfig())
+	h := b.Host("h")
+	sw := b.Switch("sw")
+	b.Attach(h, sw)
+	defer func() {
+		if recover() == nil {
+			t.Error("double attach did not panic")
+		}
+	}()
+	b.Attach(h, sw)
+}
+
+func TestBuilderCustomTopology(t *testing.T) {
+	// Three-switch chain: h0 - sw0 - sw1 - sw2 - h1.
+	s := sim.NewScheduler()
+	b := NewBuilder(s, DefaultTopologyConfig())
+	h0, h1 := b.Host("h0"), b.Host("h1")
+	sw0, sw1, sw2 := b.Switch("sw0"), b.Switch("sw1"), b.Switch("sw2")
+	b.Attach(h0, sw0)
+	b.Attach(h1, sw2)
+	p01, p10 := b.Trunk(sw0, sw1)
+	p12, p21 := b.Trunk(sw1, sw2)
+	b.Route(sw0, h1, p01)
+	b.Route(sw1, h1, p12)
+	b.Route(sw1, h0, p10)
+	b.Route(sw2, h0, p21)
+
+	if len(b.Hosts()) != 2 || len(b.Switches()) != 3 {
+		t.Fatal("builder inventory wrong")
+	}
+
+	var hops int
+	h1.Register(7, FlowHandlerFunc(func(p *packet.Packet) { hops = p.Hops() }))
+	h0.Send(&packet.Packet{Dst: h1.ID(), Flow: 7, Payload: 100})
+	s.Run()
+	if hops != 4 {
+		t.Errorf("chain hops = %d, want 4", hops)
+	}
+	// Reverse.
+	var back int
+	h0.Register(8, FlowHandlerFunc(func(p *packet.Packet) { back = p.Hops() }))
+	h1.Send(&packet.Packet{Dst: h0.ID(), Flow: 8, Payload: 100})
+	s.Run()
+	if back != 4 {
+		t.Errorf("reverse hops = %d, want 4", back)
+	}
+}

@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"fmt"
+
+	"dctcpplus/internal/packet"
+	"dctcpplus/internal/sim"
+)
+
+// FlowHandler receives packets addressed to one transport flow.
+type FlowHandler interface {
+	Deliver(pkt *packet.Packet)
+}
+
+// FlowHandlerFunc adapts a function to the FlowHandler interface.
+type FlowHandlerFunc func(pkt *packet.Packet)
+
+// Deliver calls f(pkt).
+func (f FlowHandlerFunc) Deliver(pkt *packet.Packet) { f(pkt) }
+
+// Host is an end system: it owns one uplink port toward its access switch
+// and demultiplexes arriving packets to registered transport endpoints by
+// flow id. Application-level request packets (FlagREQ) are routed to a
+// control handler instead, which is how the incast aggregator's requests
+// reach worker applications.
+type Host struct {
+	id    packet.NodeID
+	name  string
+	sched *sim.Scheduler
+
+	uplink *Port
+	flows  map[packet.FlowID]FlowHandler
+
+	// OnControl handles REQ packets (application requests).
+	OnControl func(pkt *packet.Packet)
+	// OnUnclaimed, if set, observes packets for flows with no registered
+	// handler; otherwise they are silently dropped (like RST-less discard).
+	OnUnclaimed func(pkt *packet.Packet)
+}
+
+// NewHost creates a host. The uplink is attached by the topology builder
+// through SetUplink.
+func NewHost(sched *sim.Scheduler, id packet.NodeID, name string) *Host {
+	return &Host{
+		id:    id,
+		name:  name,
+		sched: sched,
+		flows: make(map[packet.FlowID]FlowHandler),
+	}
+}
+
+// ID returns the host's node id.
+func (h *Host) ID() packet.NodeID { return h.id }
+
+// Name returns the host's human-readable name.
+func (h *Host) Name() string { return h.name }
+
+// Scheduler returns the event scheduler driving this host.
+func (h *Host) Scheduler() *sim.Scheduler { return h.sched }
+
+// SetUplink attaches the host's single output port.
+func (h *Host) SetUplink(p *Port) { h.uplink = p }
+
+// Uplink returns the host's output port (nil before wiring).
+func (h *Host) Uplink() *Port { return h.uplink }
+
+// Register binds a flow id to a transport endpoint. Registering the same
+// flow twice panics: flow ids are globally unique in this simulator.
+func (h *Host) Register(flow packet.FlowID, fh FlowHandler) {
+	if _, dup := h.flows[flow]; dup {
+		panic(fmt.Sprintf("netsim: flow %d already registered on %s", flow, h.name))
+	}
+	h.flows[flow] = fh
+}
+
+// Unregister removes a flow binding (e.g. when a connection closes).
+func (h *Host) Unregister(flow packet.FlowID) {
+	delete(h.flows, flow)
+}
+
+// Send stamps the packet's source and injects it into the host's uplink.
+func (h *Host) Send(pkt *packet.Packet) {
+	if h.uplink == nil {
+		panic(fmt.Sprintf("netsim: host %s has no uplink", h.name))
+	}
+	pkt.Src = h.id
+	h.uplink.Enqueue(pkt)
+}
+
+// Deliver demultiplexes an arriving packet.
+func (h *Host) Deliver(pkt *packet.Packet) {
+	if pkt.Flags.Has(packet.FlagREQ) {
+		if h.OnControl != nil {
+			h.OnControl(pkt)
+		}
+		return
+	}
+	if fh, ok := h.flows[pkt.Flow]; ok {
+		fh.Deliver(pkt)
+		return
+	}
+	if h.OnUnclaimed != nil {
+		h.OnUnclaimed(pkt)
+	}
+}

@@ -1,0 +1,97 @@
+// Package netsim models the network substrate of the DCTCP+ testbed: point
+// to point links with finite rate and propagation delay, output-queued
+// switches with static shared per-port buffers and ECN marking at a
+// threshold K (the DCTCP AQM), and hosts that demultiplex arriving segments
+// to transport endpoints.
+//
+// The model matches the paper's testbed (§III): NetFPGA-style GbE switches
+// with a static 128KB buffer per port and K=32KB, 1Gbps host links, and a
+// canonical 2-tier tree topology.
+package netsim
+
+import (
+	"fmt"
+
+	"dctcpplus/internal/packet"
+	"dctcpplus/internal/sim"
+)
+
+// Node is any element that can receive packets from a link.
+type Node interface {
+	ID() packet.NodeID
+	// Deliver hands an arriving packet to the node. The node takes
+	// ownership of the packet.
+	Deliver(pkt *packet.Packet)
+}
+
+// maxHops guards against routing loops: no sane configuration of this
+// simulator produces a path longer than this.
+const maxHops = 32
+
+// Link is a unidirectional point-to-point channel with a transmission rate
+// and a fixed propagation delay. Serialization is modeled by the Port that
+// feeds the link; the link itself only adds propagation latency, so
+// back-to-back packets may be "in flight" simultaneously (as on real wire).
+type Link struct {
+	sched *sim.Scheduler
+	dst   Node
+
+	// RateBps is the transmission rate in bits per second.
+	RateBps int64
+	// Delay is the one-way propagation delay.
+	Delay sim.Duration
+
+	// Fault injection (SetLoss): independent per-packet drop probability,
+	// for robustness tests of the transport against non-congestive loss.
+	lossRate float64
+	lossRNG  *sim.RNG
+	lost     int64
+}
+
+// NewLink creates a link to dst with the given rate and propagation delay.
+func NewLink(sched *sim.Scheduler, dst Node, rateBps int64, delay sim.Duration) *Link {
+	if rateBps <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	if delay < 0 {
+		panic("netsim: negative link delay")
+	}
+	return &Link{sched: sched, dst: dst, RateBps: rateBps, Delay: delay}
+}
+
+// SerializationDelay returns the time to clock out bytes at the link rate.
+func (l *Link) SerializationDelay(bytes int) sim.Duration {
+	// bytes*8 bits at RateBps bits/sec, in nanoseconds.
+	return sim.Duration(int64(bytes) * 8 * int64(sim.Second) / l.RateBps)
+}
+
+// SetLoss enables independent random packet loss on the link at the given
+// rate in [0, 1], drawn from a stream seeded with seed. Used for fault
+// injection; production topologies leave it at zero.
+func (l *Link) SetLoss(rate float64, seed uint64) {
+	if rate < 0 || rate > 1 {
+		panic("netsim: loss rate out of [0,1]")
+	}
+	l.lossRate = rate
+	l.lossRNG = sim.NewRNG(seed)
+}
+
+// Lost returns the number of packets dropped by fault injection.
+func (l *Link) Lost() int64 { return l.lost }
+
+// Propagate schedules delivery of pkt at the destination after the
+// propagation delay. The caller is responsible for having accounted for
+// serialization time (the Port does this).
+func (l *Link) Propagate(pkt *packet.Packet) {
+	if pkt.Hop() > maxHops {
+		panic(fmt.Sprintf("netsim: packet exceeded %d hops (routing loop?): %v", maxHops, pkt))
+	}
+	if l.lossRate > 0 && l.lossRNG.Float64() < l.lossRate {
+		l.lost++
+		return
+	}
+	l.sched.After(l.Delay, func() { l.dst.Deliver(pkt) })
+}
+
+// Dst returns the node at the receiving end of the link.
+func (l *Link) Dst() Node { return l.dst }

@@ -1,0 +1,120 @@
+package netsim
+
+import (
+	"testing"
+
+	"dctcpplus/internal/packet"
+	"dctcpplus/internal/sim"
+)
+
+func TestHULLPortConfigPreset(t *testing.T) {
+	cfg := HULLPortConfig()
+	if cfg.Policy != MarkPhantomQueue || cfg.PhantomDrainFactor != 0.95 ||
+		cfg.PhantomThresholdBytes != 3<<10 {
+		t.Errorf("preset = %+v", cfg)
+	}
+}
+
+func TestPhantomValidation(t *testing.T) {
+	s := sim.NewScheduler()
+	sink := &sinkNode{id: 1, s: s}
+	link := NewLink(s, sink, 1e9, 0)
+	bad := []PortConfig{
+		{BufferBytes: 1, Policy: MarkPhantomQueue, PhantomDrainFactor: 0, PhantomThresholdBytes: 1},
+		{BufferBytes: 1, Policy: MarkPhantomQueue, PhantomDrainFactor: 1.2, PhantomThresholdBytes: 1},
+		{BufferBytes: 1, Policy: MarkPhantomQueue, PhantomDrainFactor: 0.9, PhantomThresholdBytes: 0},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad phantom config %d did not panic", i)
+				}
+			}()
+			NewPort(s, link, cfg)
+		}()
+	}
+}
+
+func TestPhantomGrowsAboveDrainRate(t *testing.T) {
+	// Arrivals at exactly line rate exceed the 0.95x drain: the phantom
+	// queue must grow and eventually mark, even while the real queue stays
+	// near-empty.
+	s := sim.NewScheduler()
+	sink := &sinkNode{id: 99, s: s}
+	link := NewLink(s, sink, 1_000_000_000, 0)
+	p := NewPort(s, link, HULLPortConfig())
+
+	// Inject one full-size packet every serialization time (12us): the
+	// real queue never exceeds one packet, utilization = 1 > 0.95.
+	const n = 400
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * sim.Time(12*sim.Microsecond)
+		s.At(at, func() { p.Enqueue(dataPkt(1460, packet.ECT)) })
+	}
+	s.Run()
+
+	st := p.Stats()
+	if st.MarkedPkts == 0 {
+		t.Fatal("phantom queue never marked at 100% utilization")
+	}
+	// Real queue stayed tiny: at most ~2 packets deep.
+	if st.MaxQueueBytes > 2*1500 {
+		t.Errorf("real queue reached %d bytes; phantom marking should not need real queueing", st.MaxQueueBytes)
+	}
+	if p.PhantomQueueBytes() <= 0 {
+		t.Error("phantom occupancy not positive at end of overload")
+	}
+}
+
+func TestPhantomDrainsBelowDrainRate(t *testing.T) {
+	// Arrivals at half line rate are below the drain factor: the phantom
+	// queue stays near zero and never marks.
+	s := sim.NewScheduler()
+	sink := &sinkNode{id: 99, s: s}
+	link := NewLink(s, sink, 1_000_000_000, 0)
+	p := NewPort(s, link, HULLPortConfig())
+	for i := 0; i < 400; i++ {
+		at := sim.Time(i) * sim.Time(24*sim.Microsecond) // 50% utilization
+		s.At(at, func() { p.Enqueue(dataPkt(1460, packet.ECT)) })
+	}
+	s.Run()
+	if got := p.Stats().MarkedPkts; got != 0 {
+		t.Errorf("marked %d packets at 50%% utilization", got)
+	}
+}
+
+// TestHULLEndToEnd: a DCTCP flow through a phantom-queue bottleneck holds
+// the real queue near zero (HULL's claim), sacrificing a slice of
+// throughput.
+func TestHULLEndToEnd(t *testing.T) {
+	s := sim.NewScheduler()
+	cfg := DefaultTopologyConfig()
+	cfg.SwitchPort = HULLPortConfig()
+	star := NewStar(s, 2, cfg)
+	port := star.Switch.RouteTo(star.Hosts[1].ID())
+
+	// Drive with raw paced packets at line rate from host 0 (transport
+	// dynamics are covered in the dctcp package; here we assert the
+	// substrate's marking/queue behaviour end-to-end through a topology).
+	marked := 0
+	star.Hosts[1].Register(1, FlowHandlerFunc(func(pk *packet.Packet) {
+		if pk.ECN == packet.CE {
+			marked++
+		}
+	}))
+	for i := 0; i < 500; i++ {
+		at := sim.Time(i) * sim.Time(12*sim.Microsecond)
+		s.At(at, func() {
+			star.Hosts[0].Send(&packet.Packet{Dst: star.Hosts[1].ID(), Flow: 1,
+				Payload: packet.MSS, ECN: packet.ECT})
+		})
+	}
+	s.Run()
+	if marked == 0 {
+		t.Fatal("no CE marks observed through HULL bottleneck")
+	}
+	if port.Stats().MaxQueueBytes > 3*1500 {
+		t.Errorf("real queue high-water %d bytes; HULL should keep it near empty", port.Stats().MaxQueueBytes)
+	}
+}

@@ -1,0 +1,270 @@
+package netsim
+
+import (
+	"dctcpplus/internal/packet"
+	"dctcpplus/internal/sim"
+)
+
+// PortStats counts the traffic handled by one output port.
+type PortStats struct {
+	EnqueuedPkts  int64
+	EnqueuedBytes int64
+	DequeuedPkts  int64
+	DequeuedBytes int64
+	DroppedPkts   int64
+	DroppedBytes  int64
+	MarkedPkts    int64 // packets whose ECN codepoint was set to CE
+	MaxQueueBytes int   // high-water mark of the queue depth
+}
+
+// MarkPolicy selects the port's ECN marking discipline.
+type MarkPolicy int
+
+const (
+	// MarkInstantaneous is the DCTCP switch rule: mark every ECN-capable
+	// packet arriving while the instantaneous queue exceeds K. This is
+	// what the paper's NetFPGA switches implement.
+	MarkInstantaneous MarkPolicy = iota
+	// MarkREDLinear marks probabilistically, RED-style: probability 0 at
+	// REDMinBytes rising linearly to REDMaxProb at REDMaxBytes, and 1
+	// above. Provided as an ablation substrate — many commodity switches
+	// only offer RED/ECN, and the DCTCP paper discusses this configuration
+	// (min=max=K recovers the instantaneous rule).
+	MarkREDLinear
+	// MarkPhantomQueue implements HULL's Phantom Queue (Alizadeh et al.,
+	// NSDI 2012 — §VII names HULL as a composition target): a virtual
+	// counter drains at PhantomDrainFactor x link rate and marks once it
+	// exceeds PhantomThresholdBytes. Because the phantom queue grows
+	// whenever utilization exceeds the drain factor, marking starts before
+	// any real queue builds — trading ~ (1 - factor) of bandwidth for
+	// near-empty buffers.
+	MarkPhantomQueue
+)
+
+// PortConfig describes one output port's buffering and AQM behaviour.
+type PortConfig struct {
+	// BufferBytes is the static buffer associated with the port. Packets
+	// arriving when the queue cannot hold them are tail-dropped. The
+	// paper's switches use 128KB per port.
+	BufferBytes int
+
+	// MarkThresholdBytes is the DCTCP ECN threshold K: "the switch sets the
+	// ECN bit for all the incoming packets once the queue length exceeds
+	// the reference buffer threshold K" (§II-A). Zero disables marking
+	// (a plain drop-tail port). The paper sets K=32KB.
+	MarkThresholdBytes int
+
+	// Policy selects the marking discipline (default MarkInstantaneous).
+	Policy MarkPolicy
+	// REDMinBytes/REDMaxBytes/REDMaxProb parameterize MarkREDLinear.
+	REDMinBytes int
+	REDMaxBytes int
+	REDMaxProb  float64
+
+	// PhantomDrainFactor (gamma, e.g. 0.95) and PhantomThresholdBytes
+	// (e.g. 3KB) parameterize MarkPhantomQueue.
+	PhantomDrainFactor    float64
+	PhantomThresholdBytes int
+
+	// Seed drives the RED coin flips (deterministic per port).
+	Seed uint64
+}
+
+// HULLPortConfig returns a phantom-queue port preset in the spirit of the
+// HULL paper: gamma = 0.95, marking threshold 3KB, on top of the testbed's
+// 128KB buffer.
+func HULLPortConfig() PortConfig {
+	return PortConfig{
+		BufferBytes:           128 << 10,
+		Policy:                MarkPhantomQueue,
+		PhantomDrainFactor:    0.95,
+		PhantomThresholdBytes: 3 << 10,
+	}
+}
+
+// DefaultPortConfig returns the paper's switch settings.
+func DefaultPortConfig() PortConfig {
+	return PortConfig{BufferBytes: 128 << 10, MarkThresholdBytes: 32 << 10}
+}
+
+// Port is an output-queued switch/host port: a byte-limited FIFO drained at
+// the attached link's rate. ECN marking happens on enqueue against the
+// instantaneous queue occupancy, exactly the DCTCP switch rule.
+type Port struct {
+	sched *sim.Scheduler
+	link  *Link
+	cfg   PortConfig
+
+	queue  []*packet.Packet
+	qBytes int
+	busy   bool
+	rng    *sim.RNG
+
+	// Phantom queue state (MarkPhantomQueue).
+	vqBytes  float64
+	vqLastAt sim.Time
+
+	stats PortStats
+
+	// OnDrop, if set, is invoked for every tail-dropped packet (used by
+	// tests and loss accounting).
+	OnDrop func(pkt *packet.Packet)
+	// OnQueueChange, if set, observes every enqueue/dequeue with the new
+	// occupancy in bytes (used by queue-length tracers).
+	OnQueueChange func(now sim.Time, qBytes int)
+	// OnTransmit, if set, observes every packet as it begins serialization
+	// onto the link (the packet-capture hook used by trace.PacketTap).
+	OnTransmit func(pkt *packet.Packet)
+}
+
+// NewPort creates a port feeding the given link.
+func NewPort(sched *sim.Scheduler, link *Link, cfg PortConfig) *Port {
+	if cfg.BufferBytes <= 0 {
+		panic("netsim: port buffer must be positive")
+	}
+	if cfg.Policy == MarkREDLinear {
+		switch {
+		case cfg.REDMinBytes < 0 || cfg.REDMaxBytes < cfg.REDMinBytes:
+			panic("netsim: invalid RED thresholds")
+		case cfg.REDMaxProb < 0 || cfg.REDMaxProb > 1:
+			panic("netsim: RED max probability out of [0,1]")
+		}
+	}
+	if cfg.Policy == MarkPhantomQueue {
+		switch {
+		case cfg.PhantomDrainFactor <= 0 || cfg.PhantomDrainFactor > 1:
+			panic("netsim: phantom drain factor out of (0,1]")
+		case cfg.PhantomThresholdBytes <= 0:
+			panic("netsim: phantom threshold must be positive")
+		}
+	}
+	return &Port{sched: sched, link: link, cfg: cfg, rng: sim.NewRNG(cfg.Seed ^ 0x9047)}
+}
+
+// phantomUpdate drains the virtual queue for elapsed time and adds the
+// arriving packet, returning the post-arrival occupancy.
+func (p *Port) phantomUpdate(size int) float64 {
+	now := p.sched.Now()
+	elapsed := now.Sub(p.vqLastAt).Seconds()
+	p.vqLastAt = now
+	drain := p.cfg.PhantomDrainFactor * float64(p.link.RateBps) / 8 * elapsed
+	p.vqBytes -= drain
+	if p.vqBytes < 0 {
+		p.vqBytes = 0
+	}
+	p.vqBytes += float64(size)
+	return p.vqBytes
+}
+
+// PhantomQueueBytes returns the current virtual-queue occupancy (only
+// meaningful under MarkPhantomQueue).
+func (p *Port) PhantomQueueBytes() float64 { return p.vqBytes }
+
+// shouldMark applies the configured marking discipline against the queue
+// occupancy seen by an arriving packet.
+func (p *Port) shouldMark(qBytes int) bool {
+	switch p.cfg.Policy {
+	case MarkREDLinear:
+		switch {
+		case qBytes <= p.cfg.REDMinBytes:
+			return false
+		case qBytes >= p.cfg.REDMaxBytes:
+			return true
+		default:
+			span := float64(p.cfg.REDMaxBytes - p.cfg.REDMinBytes)
+			prob := p.cfg.REDMaxProb * float64(qBytes-p.cfg.REDMinBytes) / span
+			return p.rng.Float64() < prob
+		}
+	case MarkPhantomQueue:
+		// Decision is made against the virtual queue, updated by Enqueue
+		// before calling shouldMark; qBytes (the real queue) is unused.
+		return p.vqBytes > float64(p.cfg.PhantomThresholdBytes)
+	default:
+		return p.cfg.MarkThresholdBytes > 0 && qBytes > p.cfg.MarkThresholdBytes
+	}
+}
+
+// QueueBytes returns the instantaneous queue occupancy in bytes.
+func (p *Port) QueueBytes() int { return p.qBytes }
+
+// QueueLen returns the number of queued packets.
+func (p *Port) QueueLen() int { return len(p.queue) }
+
+// Stats returns a snapshot of the port counters.
+func (p *Port) Stats() PortStats { return p.stats }
+
+// Config returns the port configuration.
+func (p *Port) Config() PortConfig { return p.cfg }
+
+// Link returns the attached outgoing link.
+func (p *Port) Link() *Link { return p.link }
+
+// Enqueue accepts a packet for transmission. If the static buffer cannot
+// hold it, the packet is dropped (tail drop). If the instantaneous queue
+// occupancy exceeds the marking threshold K and the packet is ECN-capable,
+// its codepoint is set to CE.
+func (p *Port) Enqueue(pkt *packet.Packet) {
+	size := pkt.Size()
+	if p.qBytes+size > p.cfg.BufferBytes {
+		p.stats.DroppedPkts++
+		p.stats.DroppedBytes += int64(size)
+		if p.OnDrop != nil {
+			p.OnDrop(pkt)
+		}
+		return
+	}
+	// Marking rule: evaluate the discipline against the queue length seen
+	// by the arriving packet. Marking applies only to ECN-capable packets;
+	// NotECT traffic (plain TCP without ECN) would be dropped by a real
+	// RED/ECN switch only above the buffer limit, which tail drop covers.
+	// The phantom queue accounts every accepted arrival (ECT or not), as
+	// HULL's virtual counter sits on the link, not the transport.
+	if p.cfg.Policy == MarkPhantomQueue {
+		p.phantomUpdate(size)
+	}
+	if pkt.ECN == packet.ECT && p.shouldMark(p.qBytes) {
+		pkt.ECN = packet.CE
+		p.stats.MarkedPkts++
+	}
+	p.queue = append(p.queue, pkt)
+	p.qBytes += size
+	p.stats.EnqueuedPkts++
+	p.stats.EnqueuedBytes += int64(size)
+	if p.qBytes > p.stats.MaxQueueBytes {
+		p.stats.MaxQueueBytes = p.qBytes
+	}
+	if p.OnQueueChange != nil {
+		p.OnQueueChange(p.sched.Now(), p.qBytes)
+	}
+	if !p.busy {
+		p.transmitNext()
+	}
+}
+
+// transmitNext clocks the head-of-line packet onto the link, holding the
+// port busy for its serialization time, then hands it to the link for
+// propagation and continues with the next queued packet.
+func (p *Port) transmitNext() {
+	if len(p.queue) == 0 {
+		p.busy = false
+		return
+	}
+	p.busy = true
+	pkt := p.queue[0]
+	p.queue[0] = nil
+	p.queue = p.queue[1:]
+	size := pkt.Size()
+	p.qBytes -= size
+	p.stats.DequeuedPkts++
+	p.stats.DequeuedBytes += int64(size)
+	if p.OnQueueChange != nil {
+		p.OnQueueChange(p.sched.Now(), p.qBytes)
+	}
+	if p.OnTransmit != nil {
+		p.OnTransmit(pkt)
+	}
+	p.sched.After(p.link.SerializationDelay(size), func() {
+		p.link.Propagate(pkt)
+		p.transmitNext()
+	})
+}

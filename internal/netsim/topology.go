@@ -1,0 +1,167 @@
+package netsim
+
+import (
+	"fmt"
+
+	"dctcpplus/internal/packet"
+	"dctcpplus/internal/sim"
+)
+
+// TopologyConfig describes link and switch parameters shared by the
+// topology builders. The defaults reproduce the paper's testbed (§III):
+// 1Gbps links, ~100us base RTT, 128KB static buffer per switch port with
+// ECN threshold K=32KB.
+type TopologyConfig struct {
+	// LinkRateBps is the rate of every link (hosts and inter-switch).
+	LinkRateBps int64
+	// LinkDelay is the one-way propagation delay of every link.
+	LinkDelay sim.Duration
+	// SwitchPort configures every switch output port.
+	SwitchPort PortConfig
+	// HostQueueBytes sizes the host NIC output queue. Host queues do not
+	// mark ECN; they are deep enough that a window-limited sender never
+	// drops locally.
+	HostQueueBytes int
+}
+
+// DefaultTopologyConfig returns the testbed parameters from the paper.
+func DefaultTopologyConfig() TopologyConfig {
+	return TopologyConfig{
+		LinkRateBps:    1_000_000_000, // 1 Gbps
+		LinkDelay:      10 * sim.Microsecond,
+		SwitchPort:     DefaultPortConfig(),
+		HostQueueBytes: 4 << 20,
+	}
+}
+
+// BaseRTT returns the round-trip time of a payload-less exchange across the
+// given number of one-way hops (links), ignoring queueing: 2 * hops * delay.
+// With the default 2-tier topology a worker-aggregator path crosses three
+// links each way, giving 60us of propagation; adding serialization of a
+// full-MTU segment and its ACK lands near the paper's ~100us RTT.
+func (c TopologyConfig) BaseRTT(hops int) sim.Duration {
+	return sim.Duration(2*hops) * c.LinkDelay
+}
+
+// idAllocator hands out unique node ids within one topology.
+type idAllocator struct{ next packet.NodeID }
+
+func (a *idAllocator) alloc() packet.NodeID {
+	id := a.next
+	a.next++
+	return id
+}
+
+// connect wires a bidirectional host<->switch attachment: the host gets an
+// uplink port/link toward the switch, the switch gets a port/link toward
+// the host, and the switch learns the direct route.
+func connect(sched *sim.Scheduler, h *Host, sw *Switch, cfg TopologyConfig) {
+	up := NewLink(sched, sw, cfg.LinkRateBps, cfg.LinkDelay)
+	h.SetUplink(NewPort(sched, up, PortConfig{BufferBytes: cfg.HostQueueBytes}))
+	down := NewLink(sched, h, cfg.LinkRateBps, cfg.LinkDelay)
+	sw.AddRoute(h.ID(), sw.AddPort(down, cfg.SwitchPort))
+}
+
+// trunk wires a bidirectional switch<->switch trunk and returns the two
+// directed ports (a->b, b->a). Routes are installed by the caller.
+func trunk(sched *sim.Scheduler, a, b *Switch, cfg TopologyConfig) (ab, ba *Port) {
+	lab := NewLink(sched, b, cfg.LinkRateBps, cfg.LinkDelay)
+	ab = a.AddPort(lab, cfg.SwitchPort)
+	lba := NewLink(sched, a, cfg.LinkRateBps, cfg.LinkDelay)
+	ba = b.AddPort(lba, cfg.SwitchPort)
+	return ab, ba
+}
+
+// Star is a single-switch topology: N hosts on one switch. Used for unit
+// tests and micro-benchmarks of the transport.
+type Star struct {
+	Switch *Switch
+	Hosts  []*Host
+}
+
+// NewStar builds a star of n hosts around one switch.
+func NewStar(sched *sim.Scheduler, n int, cfg TopologyConfig) *Star {
+	ids := &idAllocator{}
+	sw := NewSwitch(sched, ids.alloc(), "switch0")
+	st := &Star{Switch: sw}
+	for i := 0; i < n; i++ {
+		h := NewHost(sched, ids.alloc(), fmt.Sprintf("host%d", i))
+		connect(sched, h, sw, cfg)
+		st.Hosts = append(st.Hosts, h)
+	}
+	return st
+}
+
+// TwoTier is the paper's experimental topology (Fig. 5): a root switch
+// ("Switch 1") with the aggregator attached directly, and leaf switches
+// each carrying a group of worker hosts. The bottleneck for incast traffic
+// is the root's port toward the aggregator.
+type TwoTier struct {
+	Root   *Switch   // Switch 1
+	Leaves []*Switch // Switch 2, 3, ...
+
+	Aggregator *Host
+	Workers    []*Host
+
+	// BottleneckPort is the root switch's output port toward the
+	// aggregator — the port whose queue the paper's Figures 9 and 14
+	// sample.
+	BottleneckPort *Port
+}
+
+// NewTwoTier builds the 2-tier tree with the given fan-out: leaves leaf
+// switches, each with hostsPerLeaf workers, plus one aggregator on the
+// root. The paper's cluster is 3 leaves x 3 workers + 1 aggregator.
+func NewTwoTier(sched *sim.Scheduler, leaves, hostsPerLeaf int, cfg TopologyConfig) *TwoTier {
+	if leaves <= 0 || hostsPerLeaf <= 0 {
+		panic("netsim: two-tier topology needs at least one leaf and one host per leaf")
+	}
+	ids := &idAllocator{}
+	root := NewSwitch(sched, ids.alloc(), "switch1")
+	tt := &TwoTier{Root: root}
+
+	// Aggregator hangs off the root.
+	agg := NewHost(sched, ids.alloc(), "aggregator")
+	connect(sched, agg, root, cfg)
+	tt.Aggregator = agg
+	tt.BottleneckPort = root.RouteTo(agg.ID())
+
+	for li := 0; li < leaves; li++ {
+		leaf := NewSwitch(sched, ids.alloc(), fmt.Sprintf("switch%d", li+2))
+		rootToLeaf, leafToRoot := trunk(sched, root, leaf, cfg)
+		// Aggregator (and anything not local) is reached via the root.
+		leaf.AddRoute(agg.ID(), leafToRoot)
+
+		for hi := 0; hi < hostsPerLeaf; hi++ {
+			w := NewHost(sched, ids.alloc(), fmt.Sprintf("worker%d", li*hostsPerLeaf+hi))
+			connect(sched, w, leaf, cfg)
+			// Root reaches this worker through the leaf trunk.
+			root.AddRoute(w.ID(), rootToLeaf)
+			tt.Workers = append(tt.Workers, w)
+		}
+		tt.Leaves = append(tt.Leaves, leaf)
+	}
+
+	// Cross-leaf worker-to-worker routes (worker traffic other than to the
+	// aggregator goes up to the root and back down).
+	for _, leaf := range tt.Leaves {
+		for _, w := range tt.Workers {
+			if leaf.RouteTo(w.ID()) == nil {
+				// Find this leaf's uplink: the route it uses for the
+				// aggregator (which is always via the root).
+				leaf.AddRoute(w.ID(), leaf.RouteTo(agg.ID()))
+			}
+		}
+	}
+	// Root routes to aggregator already installed by connect; worker routes
+	// installed above.
+	return tt
+}
+
+// PipelineCapacityBytes computes the paper's Pipeline Capacity C x D + B
+// (§II-C) for the bottleneck path: the bandwidth-delay product across the
+// given number of one-way hops plus the bottleneck port buffer.
+func (c TopologyConfig) PipelineCapacityBytes(hops int) int64 {
+	bdp := c.LinkRateBps * int64(c.BaseRTT(hops)) / (8 * int64(sim.Second))
+	return bdp + int64(c.SwitchPort.BufferBytes)
+}

@@ -1,0 +1,108 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlagsHasAndString(t *testing.T) {
+	f := FlagACK | FlagECE
+	if !f.Has(FlagACK) || !f.Has(FlagECE) || f.Has(FlagSYN) {
+		t.Error("Has wrong")
+	}
+	if !f.Has(FlagACK | FlagECE) {
+		t.Error("Has with multi-bit mask wrong")
+	}
+	s := f.String()
+	if !strings.Contains(s, "ACK") || !strings.Contains(s, "ECE") {
+		t.Errorf("String = %q", s)
+	}
+	if Flags(0).String() != "-" {
+		t.Errorf("empty flags = %q", Flags(0).String())
+	}
+	all := FlagSYN | FlagACK | FlagFIN | FlagECE | FlagCWR | FlagREQ
+	s = all.String()
+	for _, name := range []string{"SYN", "ACK", "FIN", "ECE", "CWR", "REQ"} {
+		if !strings.Contains(s, name) {
+			t.Errorf("all-flags string %q missing %s", s, name)
+		}
+	}
+}
+
+func TestECNString(t *testing.T) {
+	if NotECT.String() != "NotECT" || ECT.String() != "ECT" || CE.String() != "CE" {
+		t.Error("ECN strings wrong")
+	}
+	if ECN(9).String() != "ECN(9)" {
+		t.Error("unknown ECN string wrong")
+	}
+}
+
+func TestSizeConstants(t *testing.T) {
+	if MSS != 1460 || MTU != 1500 || HeaderBytes != 40 {
+		t.Errorf("size constants: MSS=%d MTU=%d HDR=%d", MSS, MTU, HeaderBytes)
+	}
+	p := &Packet{Payload: MSS}
+	if p.Size() != MTU {
+		t.Errorf("full segment Size = %d, want %d", p.Size(), MTU)
+	}
+	ack := &Packet{Flags: FlagACK}
+	if ack.Size() != HeaderBytes {
+		t.Errorf("ACK Size = %d, want %d", ack.Size(), HeaderBytes)
+	}
+}
+
+func TestPacketClassification(t *testing.T) {
+	data := &Packet{Seq: 1000, Payload: MSS}
+	if !data.IsData() || data.IsAck() {
+		t.Error("data packet misclassified")
+	}
+	if data.End() != 1000+MSS {
+		t.Errorf("End = %d", data.End())
+	}
+	ack := &Packet{Flags: FlagACK, AckNo: 5000}
+	if ack.IsData() || !ack.IsAck() {
+		t.Error("ACK misclassified")
+	}
+	// A piggybacked data+ACK is data, not a pure ack.
+	both := &Packet{Flags: FlagACK, Payload: 10}
+	if both.IsAck() || !both.IsData() {
+		t.Error("data+ACK misclassified")
+	}
+}
+
+func TestHopCounting(t *testing.T) {
+	p := &Packet{}
+	if p.Hops() != 0 {
+		t.Error("fresh packet has hops")
+	}
+	for i := 1; i <= 5; i++ {
+		if got := p.Hop(); got != i {
+			t.Errorf("Hop() = %d, want %d", got, i)
+		}
+	}
+	if p.Hops() != 5 {
+		t.Error("Hops() mismatch")
+	}
+}
+
+func TestEndProperty(t *testing.T) {
+	f := func(seq int32, payload uint16) bool {
+		p := &Packet{Seq: int64(seq), Payload: int(payload)}
+		return p.End() == int64(seq)+int64(payload) && p.Size() == int(payload)+HeaderBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := &Packet{Src: 1, Dst: 2, Flow: 3, Seq: 100, Payload: MSS, Flags: FlagACK, ECN: CE}
+	s := p.String()
+	for _, want := range []string{"1->2", "flow=3", "seq=100", "ACK", "CE"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import "testing"
+
+func BenchmarkSchedulerChurn(b *testing.B) {
+	// Steady-state event churn: each fired event schedules a successor,
+	// with a 64-event backlog — the simulator's hot loop.
+	s := NewScheduler()
+	var fn func()
+	fn = func() { s.After(10, fn) }
+	for i := 0; i < 64; i++ {
+		s.After(Duration(i), fn)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Step()
+	}
+}
+
+func BenchmarkSchedulerCancel(b *testing.B) {
+	s := NewScheduler()
+	evs := make([]*Event, 0, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(evs) == cap(evs) {
+			for _, e := range evs {
+				s.Cancel(e)
+			}
+			evs = evs[:0]
+		}
+		evs = append(evs, s.At(s.Now()+Time(i%1000)+1, func() {}))
+	}
+}
+
+func BenchmarkTimerReset(b *testing.B) {
+	s := NewScheduler()
+	tm := NewTimer(s, func() {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(Duration(100 + i%10))
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkRNGDuration(b *testing.B) {
+	r := NewRNG(1)
+	var sink Duration
+	for i := 0; i < b.N; i++ {
+		sink += r.Duration(100 * Microsecond)
+	}
+	_ = sink
+}
+
+func BenchmarkRNGExp(b *testing.B) {
+	r := NewRNG(1)
+	var sink Duration
+	for i := 0; i < b.N; i++ {
+		sink += r.Exp(Millisecond)
+	}
+	_ = sink
+}

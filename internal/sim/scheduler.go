@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are created through
+// Scheduler.At/After and may be cancelled before they fire.
+type Event struct {
+	when Time
+	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	fn   func()
+	idx  int // heap index, -1 once removed
+}
+
+// When returns the virtual time at which the event is (or was) due.
+func (e *Event) When() Time { return e.when }
+
+// Cancelled reports whether the event has been removed from the queue,
+// either by firing or by an explicit Cancel.
+func (e *Event) Cancelled() bool { return e.idx < 0 }
+
+// eventQueue implements heap.Interface ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler is the discrete-event core: a virtual clock plus a priority
+// queue of pending events. It is single-threaded by design — the entire
+// simulation advances by popping the earliest event and running its
+// callback, which may schedule further events.
+type Scheduler struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	fired   uint64
+	halted  bool
+}
+
+// NewScheduler returns an empty scheduler positioned at the epoch.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Pending returns the number of events currently queued.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// Fired returns the total number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at time t and returns a cancellable handle.
+// Scheduling in the past panics: it always indicates a model bug.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	e := &Event{when: t, seq: s.nextSeq, fn: fn}
+	s.nextSeq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Cancel removes a pending event so it never fires. Cancelling an event that
+// has already fired or been cancelled is a harmless no-op, which lets timer
+// owners cancel unconditionally.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.idx < 0 {
+		return
+	}
+	heap.Remove(&s.queue, e.idx)
+	e.idx = -1
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It reports whether an event was executed.
+func (s *Scheduler) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*Event)
+	s.now = e.when
+	s.fired++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (s *Scheduler) Run() {
+	s.halted = false
+	for !s.halted && s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps at or before deadline. The clock
+// finishes at min(deadline, time of last event) — it does not jump forward
+// past the final event.
+func (s *Scheduler) RunUntil(deadline Time) {
+	s.halted = false
+	for !s.halted && len(s.queue) > 0 && s.queue[0].when <= deadline {
+		s.Step()
+	}
+}
+
+// RunFor executes events for d of virtual time from the current instant.
+func (s *Scheduler) RunFor(d Duration) { s.RunUntil(s.now.Add(d)) }
+
+// Halt stops Run/RunUntil after the currently executing event returns.
+// Pending events remain queued.
+func (s *Scheduler) Halt() { s.halted = true }
+
+// Timer is a restartable one-shot timer bound to a scheduler, in the style
+// of kernel timers: Reset re-arms it (replacing any pending expiry), Stop
+// disarms it. The callback is fixed at construction.
+type Timer struct {
+	s  *Scheduler
+	fn func()
+	ev *Event
+}
+
+// NewTimer creates a disarmed timer that will invoke fn on expiry.
+func NewTimer(s *Scheduler, fn func()) *Timer {
+	return &Timer{s: s, fn: fn}
+}
+
+// Reset (re-)arms the timer to fire d from now.
+func (t *Timer) Reset(d Duration) {
+	t.s.Cancel(t.ev)
+	t.ev = t.s.After(d, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// ResetAt (re-)arms the timer to fire at absolute time at.
+func (t *Timer) ResetAt(at Time) {
+	t.s.Cancel(t.ev)
+	t.ev = t.s.At(at, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// Stop disarms the timer if it is pending.
+func (t *Timer) Stop() {
+	t.s.Cancel(t.ev)
+	t.ev = nil
+}
+
+// Armed reports whether the timer currently has a pending expiry.
+func (t *Timer) Armed() bool { return t.ev != nil && !t.ev.Cancelled() }
+
+// Deadline returns the pending expiry time, or Infinity if disarmed.
+func (t *Timer) Deadline() Time {
+	if !t.Armed() {
+		return Infinity
+	}
+	return t.ev.When()
+}

@@ -1,0 +1,271 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	s.At(30*Time(Microsecond), func() { got = append(got, 3) })
+	s.At(10*Time(Microsecond), func() { got = append(got, 1) })
+	s.At(20*Time(Microsecond), func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 30*Time(Microsecond) {
+		t.Errorf("Now = %v, want 30us", s.Now())
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(5, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSchedulerAfterAndClockAdvance(t *testing.T) {
+	s := NewScheduler()
+	var at1, at2 Time
+	s.After(100, func() {
+		at1 = s.Now()
+		s.After(50, func() { at2 = s.Now() })
+	})
+	s.Run()
+	if at1 != 100 || at2 != 150 {
+		t.Errorf("fired at %d,%d want 100,150", at1, at2)
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	e := s.At(10, func() { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Error("event not marked cancelled")
+	}
+	// Double cancel and cancel-nil must be harmless.
+	s.Cancel(e)
+	s.Cancel(nil)
+}
+
+func TestSchedulerCancelMiddleOfHeap(t *testing.T) {
+	s := NewScheduler()
+	var got []int
+	var evs []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, s.At(Time(i), func() { got = append(got, i) }))
+	}
+	// Cancel all odd events.
+	for i := 1; i < 20; i += 2 {
+		s.Cancel(evs[i])
+	}
+	s.Run()
+	if len(got) != 10 {
+		t.Fatalf("got %d events, want 10", len(got))
+	}
+	for _, v := range got {
+		if v%2 != 0 {
+			t.Errorf("odd (cancelled) event %d fired", v)
+		}
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var count int
+	for i := 1; i <= 10; i++ {
+		s.At(Time(i)*Time(Millisecond), func() { count++ })
+	}
+	s.RunUntil(Time(5) * Time(Millisecond))
+	if count != 5 {
+		t.Errorf("count = %d, want 5", count)
+	}
+	if s.Pending() != 5 {
+		t.Errorf("pending = %d, want 5", s.Pending())
+	}
+	s.Run()
+	if count != 10 {
+		t.Errorf("count after Run = %d, want 10", count)
+	}
+}
+
+func TestSchedulerRunFor(t *testing.T) {
+	s := NewScheduler()
+	var count int
+	for i := 1; i <= 4; i++ {
+		s.At(Time(i)*10, func() { count++ })
+	}
+	s.RunFor(20) // events at 10, 20
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+}
+
+func TestSchedulerHalt(t *testing.T) {
+	s := NewScheduler()
+	var count int
+	for i := 0; i < 10; i++ {
+		s.At(Time(i), func() {
+			count++
+			if count == 3 {
+				s.Halt()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Errorf("count = %d, want 3 after Halt", count)
+	}
+	if s.Pending() != 7 {
+		t.Errorf("pending = %d, want 7", s.Pending())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(50, func() {})
+	})
+	s.Run()
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	s := NewScheduler()
+	s.At(100, func() {
+		s.After(-5, func() {
+			if s.Now() != 100 {
+				t.Errorf("negative After fired at %v, want 100", s.Now())
+			}
+		})
+	})
+	s.Run()
+}
+
+func TestTimerResetStop(t *testing.T) {
+	s := NewScheduler()
+	fires := 0
+	tm := NewTimer(s, func() { fires++ })
+	if tm.Armed() {
+		t.Error("new timer armed")
+	}
+	tm.Reset(100)
+	if !tm.Armed() || tm.Deadline() != 100 {
+		t.Errorf("deadline = %v, want 100", tm.Deadline())
+	}
+	tm.Reset(200) // replaces the first arm
+	s.Run()
+	if fires != 1 {
+		t.Errorf("fires = %d, want 1 (Reset must replace)", fires)
+	}
+	if tm.Armed() {
+		t.Error("timer still armed after fire")
+	}
+
+	tm.Reset(50)
+	tm.Stop()
+	s.Run()
+	if fires != 1 {
+		t.Error("stopped timer fired")
+	}
+	if tm.Deadline() != Infinity {
+		t.Error("disarmed deadline should be Infinity")
+	}
+}
+
+func TestTimerResetAt(t *testing.T) {
+	s := NewScheduler()
+	var firedAt Time = -1
+	tm := NewTimer(s, func() { firedAt = s.Now() })
+	tm.ResetAt(77)
+	s.Run()
+	if firedAt != 77 {
+		t.Errorf("fired at %v, want 77", firedAt)
+	}
+}
+
+func TestTimerRearmFromCallback(t *testing.T) {
+	s := NewScheduler()
+	fires := 0
+	var tm *Timer
+	tm = NewTimer(s, func() {
+		fires++
+		if fires < 3 {
+			tm.Reset(10)
+		}
+	})
+	tm.Reset(10)
+	s.Run()
+	if fires != 3 {
+		t.Errorf("fires = %d, want 3", fires)
+	}
+	if s.Now() != 30 {
+		t.Errorf("now = %v, want 30", s.Now())
+	}
+}
+
+// Property: for any batch of event delays, the scheduler fires them in
+// non-decreasing time order and ends with the clock at the max.
+func TestSchedulerOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := NewScheduler()
+		var fired []Time
+		var max Time
+		for _, d := range delays {
+			tt := Time(d)
+			if tt > max {
+				max = tt
+			}
+			s.At(tt, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(delays) == 0 || s.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 5; i++ {
+		s.At(Time(i), func() {})
+	}
+	s.Run()
+	if s.Fired() != 5 {
+		t.Errorf("Fired = %d, want 5", s.Fired())
+	}
+}

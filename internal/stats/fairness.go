@@ -1,0 +1,77 @@
+package stats
+
+// JainIndex computes Jain's fairness index over per-entity allocations:
+//
+//	J = (sum x)^2 / (n * sum x^2)
+//
+// J = 1 means perfectly equal shares; J = 1/n means one entity holds
+// everything. Used to quantify the long-flow fairness claims of §VI-C.
+func JainIndex(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, v := range x {
+		if v < 0 {
+			v = 0
+		}
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 1 // all-zero allocations are (vacuously) equal
+	}
+	return sum * sum / (float64(len(x)) * sumSq)
+}
+
+// TimeWeighted accumulates a piecewise-constant signal (such as queue
+// occupancy) and reports its time-weighted mean and maximum. Feed it the
+// signal's change points in nondecreasing time order.
+type TimeWeighted struct {
+	started  bool
+	lastT    float64
+	lastV    float64
+	area     float64
+	duration float64
+	max      float64
+}
+
+// Observe records that the signal held value v starting at time t (the
+// previous value is integrated up to t).
+func (tw *TimeWeighted) Observe(t, v float64) {
+	if tw.started {
+		dt := t - tw.lastT
+		if dt > 0 {
+			tw.area += tw.lastV * dt
+			tw.duration += dt
+		}
+	}
+	tw.started = true
+	tw.lastT = t
+	tw.lastV = v
+	if v > tw.max {
+		tw.max = v
+	}
+}
+
+// Finish integrates the final segment up to time t.
+func (tw *TimeWeighted) Finish(t float64) {
+	if !tw.started {
+		return
+	}
+	tw.Observe(t, tw.lastV)
+}
+
+// Mean returns the time-weighted mean (0 before any interval completes).
+func (tw *TimeWeighted) Mean() float64 {
+	if tw.duration == 0 {
+		return 0
+	}
+	return tw.area / tw.duration
+}
+
+// Max returns the maximum observed value.
+func (tw *TimeWeighted) Max() float64 { return tw.max }
+
+// Duration returns the total integrated time.
+func (tw *TimeWeighted) Duration() float64 { return tw.duration }

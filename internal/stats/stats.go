@@ -1,0 +1,249 @@
+// Package stats provides the measurement toolkit for the experiments:
+// summary statistics (mean/stddev/percentiles), empirical CDFs, integer
+// histograms (cwnd frequency distributions), online accumulators, and
+// goodput helpers. Everything operates on plain float64 samples so the
+// experiment harness stays decoupled from simulator types.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics the paper reports for FCT and
+// throughput series (Fig. 13 uses mean / 95th / 99th percentiles).
+type Summary struct {
+	Count int
+	Mean  float64
+	Std   float64
+	Min   float64
+	Max   float64
+	P50   float64
+	P95   float64
+	P99   float64
+}
+
+// Summarize computes a Summary of the samples. An empty input yields the
+// zero Summary.
+func Summarize(samples []float64) Summary {
+	n := len(samples)
+	if n == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	// Welford's algorithm: stable against both catastrophic cancellation
+	// and overflow of a naive sum-of-squares.
+	var w Welford
+	for _, v := range sorted {
+		w.Add(v)
+	}
+	return Summary{
+		Count: n,
+		Mean:  w.Mean(),
+		Std:   w.Std(),
+		Min:   sorted[0],
+		Max:   sorted[n-1],
+		P50:   quantileSorted(sorted, 0.50),
+		P95:   quantileSorted(sorted, 0.95),
+		P99:   quantileSorted(sorted, 0.99),
+	}
+}
+
+// String renders the summary compactly for experiment logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p95=%.3f p99=%.3f min=%.3f max=%.3f",
+		s.Count, s.Mean, s.P50, s.P95, s.P99, s.Min, s.Max)
+}
+
+// quantileSorted returns the q-quantile (0..1) of a sorted sample using
+// linear interpolation between closest ranks.
+func quantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Quantile returns the q-quantile of unsorted samples.
+func Quantile(samples []float64, q float64) float64 {
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// CDF is an empirical cumulative distribution function over a sample set.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (copied and sorted).
+func NewCDF(samples []float64) *CDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	idx := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile (inverse CDF).
+func (c *CDF) Quantile(q float64) float64 { return quantileSorted(c.sorted, q) }
+
+// Point is one (x, P(X<=x)) pair of a rendered CDF curve.
+type Point struct{ X, P float64 }
+
+// Curve renders n evenly spaced points across the sample range, suitable
+// for plotting the paper's queue-length CDFs (Fig. 9).
+func (c *CDF) Curve(n int) []Point {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	if n == 1 || hi == lo {
+		return []Point{{hi, 1}}
+	}
+	pts := make([]Point, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range pts {
+		x := lo + float64(i)*step
+		pts[i] = Point{X: x, P: c.At(x)}
+	}
+	return pts
+}
+
+// Hist is an integer-bin frequency histogram — used for the paper's cwnd
+// size distributions (Fig. 2), where bins are whole MSS counts.
+type Hist struct {
+	counts map[int]int64
+	total  int64
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist { return &Hist{counts: make(map[int]int64)} }
+
+// Add records one observation of bin v.
+func (h *Hist) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// AddN records n observations of bin v.
+func (h *Hist) AddN(v int, n int64) {
+	if n <= 0 {
+		return
+	}
+	h.counts[v] += n
+	h.total += n
+}
+
+// Total returns the number of observations.
+func (h *Hist) Total() int64 { return h.total }
+
+// Count returns the observations in bin v.
+func (h *Hist) Count(v int) int64 { return h.counts[v] }
+
+// Frac returns the fraction of observations in bin v.
+func (h *Hist) Frac(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.total)
+}
+
+// FracRange returns the fraction of observations with lo <= bin <= hi.
+func (h *Hist) FracRange(lo, hi int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var n int64
+	for v, c := range h.counts {
+		if v >= lo && v <= hi {
+			n += c
+		}
+	}
+	return float64(n) / float64(h.total)
+}
+
+// Bins returns the occupied bins in ascending order.
+func (h *Hist) Bins() []int {
+	bins := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		bins = append(bins, v)
+	}
+	sort.Ints(bins)
+	return bins
+}
+
+// Merge folds other into h.
+func (h *Hist) Merge(other *Hist) {
+	for v, c := range other.counts {
+		h.counts[v] += c
+	}
+	h.total += other.total
+}
+
+// Welford is an online mean/variance accumulator (numerically stable).
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the sample count.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 with no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the population variance.
+func (w *Welford) Var() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Std returns the population standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Mbps converts a byte count over a duration in seconds to megabits per
+// second — the goodput unit of the paper's figures.
+func Mbps(bytes int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / 1e6 / seconds
+}

@@ -1,0 +1,51 @@
+package tcp
+
+import (
+	"testing"
+
+	"dctcpplus/internal/netsim"
+	"dctcpplus/internal/packet"
+	"dctcpplus/internal/sim"
+)
+
+// BenchmarkBulkTransfer measures end-to-end simulator throughput: one
+// NewReno flow moving 1MB across a star topology. Reported metric:
+// simulated megabytes per wall second.
+func BenchmarkBulkTransfer(b *testing.B) {
+	const size = 1 << 20
+	for i := 0; i < b.N; i++ {
+		s := sim.NewScheduler()
+		star := netsim.NewStar(s, 2, netsim.DefaultTopologyConfig())
+		cfg := DefaultConfig()
+		cfg.MaxCwnd = 64
+		c := NewConn(cfg, NewReno{}, star.Hosts[0], star.Hosts[1], 1)
+		c.Sender.Send(size)
+		s.Run()
+		if !c.Sender.Done() {
+			b.Fatal("transfer incomplete")
+		}
+	}
+	b.SetBytes(size)
+}
+
+// BenchmarkManyFlows measures the cost of a 64-flow fan-in round.
+func BenchmarkManyFlows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := sim.NewScheduler()
+		tt := netsim.NewTwoTier(s, 3, 3, netsim.DefaultTopologyConfig())
+		done := 0
+		for f := 0; f < 64; f++ {
+			cfg := DefaultConfig()
+			cfg.RTOMin = 10 * sim.Millisecond
+			cfg.RTOInit = 10 * sim.Millisecond
+			cfg.Seed = uint64(f + 1)
+			c := NewConn(cfg, NewReno{}, tt.Workers[f%9], tt.Aggregator, packet.FlowID(f+1))
+			c.Sender.OnComplete = func(int64) { done++ }
+			c.Sender.Send(16 << 10)
+		}
+		s.RunUntil(sim.Time(10 * sim.Second))
+		if done != 64 {
+			b.Fatalf("completed %d/64", done)
+		}
+	}
+}

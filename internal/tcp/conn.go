@@ -1,0 +1,31 @@
+package tcp
+
+import (
+	"dctcpplus/internal/netsim"
+	"dctcpplus/internal/packet"
+)
+
+// Conn pairs a sender and receiver over a shared flow id, modeling one
+// pre-established, persistent connection (the incast benchmark reuses its
+// connections across rounds, so the experiments never pay a handshake; see
+// DESIGN.md for this simplification).
+type Conn struct {
+	Sender   *Sender
+	Receiver *Receiver
+}
+
+// NewConn wires a persistent connection carrying data from the sender host
+// to the receiver host under the given flow id. cc provides the sender's
+// congestion-control module.
+func NewConn(cfg Config, cc CongestionControl, from, to *netsim.Host, flow packet.FlowID) *Conn {
+	return &Conn{
+		Sender:   NewSender(cfg, cc, from, to.ID(), flow),
+		Receiver: NewReceiver(cfg, to, from.ID(), flow),
+	}
+}
+
+// Close unregisters both endpoints.
+func (c *Conn) Close() {
+	c.Sender.Close()
+	c.Receiver.Close()
+}

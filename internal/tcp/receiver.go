@@ -1,0 +1,235 @@
+package tcp
+
+import (
+	"dctcpplus/internal/netsim"
+	"dctcpplus/internal/packet"
+	"dctcpplus/internal/sim"
+)
+
+// ReceiverStats counts events at the receiving endpoint.
+type ReceiverStats struct {
+	SegsIn        int64
+	BytesIn       int64 // payload bytes arriving (including duplicates)
+	DeliveredByte int64 // in-order bytes handed to the application
+	DupSegs       int64 // fully duplicate segments
+	OutOfOrder    int64 // segments buffered ahead of a hole
+	AcksOut       int64
+	DelayedAcks   int64 // ACKs sent by the delayed-ACK counter/timer path
+	ImmediateAcks int64 // ACKs forced by dup/out-of-order/CE-transition
+	CEMarskSeen   int64 // data segments arriving with CE set
+}
+
+// interval is a half-open byte range [lo, hi) in the reassembly buffer.
+type interval struct{ lo, hi int64 }
+
+// Receiver is the receiving half of a connection: it reassembles the byte
+// stream, generates (delayed) cumulative ACKs, and implements the ECN echo
+// semantics — either the RFC 3168 latch or DCTCP's precise two-state
+// delayed-ACK machine, which is what lets the DCTCP sender estimate the
+// fraction of marked packets.
+type Receiver struct {
+	cfg   Config
+	host  *netsim.Host
+	sched *sim.Scheduler
+	flow  packet.FlowID
+	peer  packet.NodeID
+
+	rcvNxt int64
+	ooo    []interval // sorted, disjoint, all above rcvNxt
+
+	pendingSegs int // in-order segments not yet acknowledged
+	delackTimer *sim.Timer
+
+	// ECN echo state.
+	eceLatch bool // RFC 3168: set by CE, cleared by CWR
+	ceState  bool // DCTCP: CE state of the most recent data segment
+
+	stats ReceiverStats
+
+	// OnData observes each in-order delivery (n bytes).
+	OnData func(n int64)
+}
+
+// NewReceiver creates a receiver for flow on host, acknowledging toward
+// peer, and registers it for the flow's data segments.
+func NewReceiver(cfg Config, host *netsim.Host, peer packet.NodeID, flow packet.FlowID) *Receiver {
+	cfg.validate()
+	r := &Receiver{
+		cfg:   cfg,
+		host:  host,
+		sched: host.Scheduler(),
+		flow:  flow,
+		peer:  peer,
+	}
+	r.delackTimer = sim.NewTimer(r.sched, func() {
+		if r.pendingSegs > 0 {
+			r.stats.DelayedAcks++
+			r.sendAck()
+		}
+	})
+	host.Register(flow, netsim.FlowHandlerFunc(r.Deliver))
+	return r
+}
+
+// RcvNxt returns the next expected in-order byte.
+func (r *Receiver) RcvNxt() int64 { return r.rcvNxt }
+
+// Peer returns the node id of the sending endpoint.
+func (r *Receiver) Peer() packet.NodeID { return r.peer }
+
+// Stats returns a snapshot of the receiver counters.
+func (r *Receiver) Stats() ReceiverStats { return r.stats }
+
+// Close unregisters the receiver from its host.
+func (r *Receiver) Close() {
+	r.delackTimer.Stop()
+	r.host.Unregister(r.flow)
+}
+
+// Deliver processes one arriving data segment.
+func (r *Receiver) Deliver(pkt *packet.Packet) {
+	if !pkt.IsData() {
+		return
+	}
+	r.stats.SegsIn++
+	r.stats.BytesIn += int64(pkt.Payload)
+
+	ce := pkt.ECN == packet.CE
+	if ce {
+		r.stats.CEMarskSeen++
+	}
+	switch r.cfg.ECN {
+	case ECNClassic:
+		// RFC 3168: CWR from the sender clears the latch; a CE mark sets
+		// it. Process CWR first so a marked CWR segment re-latches.
+		if pkt.Flags.Has(packet.FlagCWR) {
+			r.eceLatch = false
+		}
+		if ce {
+			r.eceLatch = true
+		}
+	case ECNPrecise:
+		// DCTCP's two-state ACK machine: when the CE state changes, flush
+		// an immediate ACK that still reflects the old state for the
+		// segments it covers, then adopt the new state. This preserves the
+		// exact marked-byte accounting at the sender.
+		if ce != r.ceState {
+			if r.pendingSegs > 0 {
+				r.stats.ImmediateAcks++
+				r.sendAck()
+			}
+			r.ceState = ce
+		}
+	}
+
+	seq, end := pkt.Seq, pkt.End()
+	switch {
+	case end <= r.rcvNxt:
+		// Entirely duplicate data: re-ACK immediately so the sender sees
+		// the duplicate and can exit its hole-filling path.
+		r.stats.DupSegs++
+		r.stats.ImmediateAcks++
+		r.sendAck()
+	case seq > r.rcvNxt:
+		// Out of order: buffer and send an immediate duplicate ACK — this
+		// is the dupACK stream that drives fast retransmit.
+		r.stats.OutOfOrder++
+		r.insertOOO(seq, end)
+		r.stats.ImmediateAcks++
+		r.sendAck()
+	default:
+		// In-order (possibly overlapping the front): advance, merge any
+		// buffered ranges this unblocks, deliver to the application.
+		hadHole := len(r.ooo) > 0
+		if end > r.rcvNxt {
+			advanced := r.advanceTo(end)
+			r.stats.DeliveredByte += advanced
+			if r.OnData != nil {
+				r.OnData(advanced)
+			}
+		}
+		if hadHole {
+			// Filled (part of) a hole: ACK immediately (RFC 5681).
+			r.stats.ImmediateAcks++
+			r.sendAck()
+			return
+		}
+		r.pendingSegs++
+		if r.pendingSegs >= r.cfg.DelAckCount {
+			r.stats.DelayedAcks++
+			r.sendAck()
+		} else if !r.delackTimer.Armed() {
+			r.delackTimer.Reset(r.cfg.DelAckTimeout)
+		}
+	}
+}
+
+// advanceTo moves rcvNxt to at least end, absorbing any buffered intervals
+// that become contiguous, and returns the number of newly delivered bytes.
+func (r *Receiver) advanceTo(end int64) int64 {
+	old := r.rcvNxt
+	r.rcvNxt = end
+	for len(r.ooo) > 0 && r.ooo[0].lo <= r.rcvNxt {
+		if r.ooo[0].hi > r.rcvNxt {
+			r.rcvNxt = r.ooo[0].hi
+		}
+		r.ooo = r.ooo[1:]
+	}
+	return r.rcvNxt - old
+}
+
+// insertOOO merges [lo, hi) into the sorted disjoint interval set.
+func (r *Receiver) insertOOO(lo, hi int64) {
+	out := r.ooo[:0:0]
+	placed := false
+	for _, iv := range r.ooo {
+		switch {
+		case iv.hi < lo:
+			out = append(out, iv)
+		case hi < iv.lo:
+			if !placed {
+				out = append(out, interval{lo, hi})
+				placed = true
+			}
+			out = append(out, iv)
+		default:
+			// Overlapping or touching: absorb into the candidate.
+			if iv.lo < lo {
+				lo = iv.lo
+			}
+			if iv.hi > hi {
+				hi = iv.hi
+			}
+		}
+	}
+	if !placed {
+		out = append(out, interval{lo, hi})
+	}
+	r.ooo = out
+}
+
+// sendAck emits a cumulative ACK reflecting the current ECN echo state and
+// clears any pending delayed-ACK obligation.
+func (r *Receiver) sendAck() {
+	flags := packet.FlagACK
+	switch r.cfg.ECN {
+	case ECNClassic:
+		if r.eceLatch {
+			flags |= packet.FlagECE
+		}
+	case ECNPrecise:
+		if r.ceState {
+			flags |= packet.FlagECE
+		}
+	}
+	r.pendingSegs = 0
+	r.delackTimer.Stop()
+	r.stats.AcksOut++
+	r.host.Send(&packet.Packet{
+		Dst:      r.peer,
+		Flow:     r.flow,
+		AckNo:    r.rcvNxt,
+		Flags:    flags,
+		SendTime: r.sched.Now(),
+	})
+}

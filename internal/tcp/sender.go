@@ -1,0 +1,611 @@
+package tcp
+
+import (
+	"fmt"
+
+	"dctcpplus/internal/netsim"
+	"dctcpplus/internal/packet"
+	"dctcpplus/internal/sim"
+)
+
+// SenderState is the loss-recovery state of the sender, mirroring the
+// Linux tcp_ca_state trio that matters for this model.
+type SenderState int
+
+const (
+	// StateOpen: normal operation (includes the CWR epoch after an ECN
+	// reduction).
+	StateOpen SenderState = iota
+	// StateRecovery: NewReno fast recovery after DupThresh duplicate ACKs.
+	StateRecovery
+	// StateLoss: retransmission-timeout recovery (go-back-N slow start).
+	StateLoss
+)
+
+func (s SenderState) String() string {
+	switch s {
+	case StateOpen:
+		return "open"
+	case StateRecovery:
+		return "recovery"
+	case StateLoss:
+		return "loss"
+	}
+	return "?"
+}
+
+// SenderStats counts transport events on one connection.
+type SenderStats struct {
+	SentPkts     int64
+	SentBytes    int64
+	RetransPkts  int64
+	RetransBytes int64
+
+	AcksIn  int64
+	DupAcks int64
+	ECEAcks int64 // ACKs carrying ECN-Echo
+
+	FastRecoveries int64
+	Timeouts       int64
+	FLossTimeouts  int64
+	LAckTimeouts   int64
+
+	// MinCwndECESends counts data transmissions performed while cwnd sat
+	// at the configured floor and the most recent ACK carried ECE — the
+	// paper's Table I "cwnd=2, ECE=1" condition, i.e. the sender is asked
+	// to slow down but the window cannot shrink further.
+	MinCwndECESends int64
+
+	Completions int64
+}
+
+// Sender is the sending half of a connection: it owns the congestion
+// window, the retransmission machinery and the pacing gate, and it
+// transmits application bytes toward the peer host.
+type Sender struct {
+	cfg   Config
+	cc    CongestionControl
+	host  *netsim.Host
+	sched *sim.Scheduler
+	rng   *sim.RNG
+	flow  packet.FlowID
+	peer  packet.NodeID
+
+	// Byte-stream bookkeeping. The application appends bytes with Send;
+	// completion fires each time sndUna catches up with the total.
+	totalBytes   int64
+	sndUna       int64
+	sndNxt       int64
+	maxSent      int64 // highest byte ever transmitted (for go-back-N rtx marking)
+	completeMark int64
+
+	cwnd     float64 // congestion window, in MSS units
+	ssthresh float64 // slow-start threshold, in MSS units
+	state    SenderState
+	dupacks  int
+	recover  int64 // recovery point: snd_nxt when loss was detected
+	ltCredit int   // limited-transmit segments usable beyond cwnd (RFC 3042)
+
+	// ECN reaction bookkeeping (at most one reduction per window of data).
+	cwrEnd     int64
+	needCWR    bool
+	lastAckECE bool
+
+	// RTT sampling: one timed segment at a time, Karn-invalidated.
+	timedSeq   int64
+	timedAt    sim.Time
+	timedValid bool
+	rtt        *rttEstimator
+	rtoBackoff uint
+
+	rtoTimer     *sim.Timer
+	acksSinceArm int64 // feedback since the RTO was (re)armed, for taxonomy
+
+	// Pacing: cc.PacingDelay gates data transmissions. Every packet is
+	// delayed by the pacing gap from the moment it becomes eligible (the
+	// kernel hrtimer semantics of DCTCP+), so even the first packet of an
+	// idle-start burst waits its flow's slow_time — that per-flow random
+	// delay is what desynchronizes concurrent round-start bursts.
+	lastSendAt     sim.Time
+	headWaitedFrom sim.Time     // when the head packet became eligible; -1 when none
+	headGap        sim.Duration // pacing draw cached for the waiting head packet
+	sendEv         *sim.Event
+	rtxPending     bool
+
+	stats SenderStats
+
+	// OnComplete fires when all bytes handed to Send so far are
+	// acknowledged; total is the acknowledged byte count.
+	OnComplete func(total int64)
+	// OnAckProbe observes every processed ACK after state updates — the
+	// tcp_probe analog used by the cwnd-distribution experiments.
+	OnAckProbe func(s *Sender, ece bool)
+	// OnTimeoutEvent observes every RTO with its taxonomy classification.
+	OnTimeoutEvent func(kind TimeoutKind)
+}
+
+// NewSender creates a sender for flow on host, targeting the peer node, and
+// registers it to receive that flow's ACKs.
+func NewSender(cfg Config, cc CongestionControl, host *netsim.Host, peer packet.NodeID, flow packet.FlowID) *Sender {
+	cfg.validate()
+	if cc == nil {
+		panic("tcp: nil congestion control")
+	}
+	s := &Sender{
+		cfg:            cfg,
+		cc:             cc,
+		host:           host,
+		sched:          host.Scheduler(),
+		rng:            sim.NewRNG(cfg.Seed),
+		flow:           flow,
+		peer:           peer,
+		cwnd:           cfg.InitialCwnd,
+		ssthresh:       cfg.MaxCwnd,
+		lastSendAt:     -1 << 62,
+		headWaitedFrom: -1,
+	}
+	s.rtt = newRTTEstimator(cfg)
+	s.rtoTimer = sim.NewTimer(s.sched, s.onRTO)
+	host.Register(flow, netsim.FlowHandlerFunc(s.Deliver))
+	cc.Init(s)
+	return s
+}
+
+// Accessors used by congestion-control modules and experiments.
+
+// CwndMSS returns the congestion window in MSS units.
+func (s *Sender) CwndMSS() float64 { return s.cwnd }
+
+// SsthreshMSS returns the slow-start threshold in MSS units.
+func (s *Sender) SsthreshMSS() float64 { return s.ssthresh }
+
+// MinCwndMSS returns the configured window floor in MSS units.
+func (s *Sender) MinCwndMSS() float64 { return s.cfg.MinCwnd }
+
+// State returns the loss-recovery state.
+func (s *Sender) State() SenderState { return s.state }
+
+// SndUna returns the first unacknowledged byte.
+func (s *Sender) SndUna() int64 { return s.sndUna }
+
+// SndNxt returns the next byte to be sent.
+func (s *Sender) SndNxt() int64 { return s.sndNxt }
+
+// TotalBytes returns the bytes handed to Send so far.
+func (s *Sender) TotalBytes() int64 { return s.totalBytes }
+
+// InflightBytes returns the unacknowledged bytes in the network.
+func (s *Sender) InflightBytes() int64 { return s.sndNxt - s.sndUna }
+
+// Now returns the current virtual time.
+func (s *Sender) Now() sim.Time { return s.sched.Now() }
+
+// RNG returns the sender's private random stream (for randomized CC).
+func (s *Sender) RNG() *sim.RNG { return s.rng }
+
+// Config returns the connection configuration.
+func (s *Sender) Config() Config { return s.cfg }
+
+// Stats returns a snapshot of the sender counters.
+func (s *Sender) Stats() SenderStats { return s.stats }
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (s *Sender) SRTT() sim.Duration { return s.rtt.SRTT() }
+
+// RTO returns the current retransmission timeout including backoff.
+func (s *Sender) RTO() sim.Duration {
+	rto := s.rtt.RTO() << s.rtoBackoff
+	if rto > s.cfg.RTOMax {
+		rto = s.cfg.RTOMax
+	}
+	return rto
+}
+
+// Flow returns the flow id.
+func (s *Sender) Flow() packet.FlowID { return s.flow }
+
+// LastAckECE reports whether the most recent ACK carried ECN-Echo.
+func (s *Sender) LastAckECE() bool { return s.lastAckECE }
+
+// Done reports whether every byte handed to Send has been acknowledged.
+func (s *Sender) Done() bool { return s.totalBytes > 0 && s.sndUna >= s.totalBytes }
+
+// Close unregisters the sender from its host.
+func (s *Sender) Close() {
+	s.rtoTimer.Stop()
+	s.sched.Cancel(s.sendEv)
+	s.sendEv = nil
+	s.host.Unregister(s.flow)
+}
+
+// Send appends n application bytes to the stream and starts transmitting.
+// It may be called repeatedly (the incast workload issues one call per
+// round on a persistent connection).
+func (s *Sender) Send(n int64) {
+	if n <= 0 {
+		panic(fmt.Sprintf("tcp: Send(%d)", n))
+	}
+	// Window restart after idle (tcp_slow_start_after_idle): a window
+	// grown before an idle period reflects stale network state and must
+	// not be burst out at once.
+	if s.cfg.SlowStartAfterIdle && s.InflightBytes() == 0 && s.lastSendAt >= 0 {
+		if idle := s.sched.Now().Sub(s.lastSendAt); idle > s.RTO() && s.cwnd > s.cfg.InitialCwnd {
+			s.cwnd = s.cfg.InitialCwnd
+		}
+	}
+	s.totalBytes += n
+	s.pump()
+}
+
+// cwndBytes converts the fractional window to a byte budget.
+func (s *Sender) cwndBytes() int64 {
+	return int64(s.cwnd * float64(s.cfg.MSS))
+}
+
+// pump transmits whatever is currently allowed: a pending retransmission
+// first, then new data while the window permits, with the congestion
+// module's pacing delay enforced between consecutive transmissions. This is
+// the tcp_transmit_skb choke point where DCTCP+ inserts slow_time.
+func (s *Sender) pump() {
+	for {
+		var seq int64
+		var payload int
+		hole := false
+		switch {
+		case s.rtxPending:
+			seq = s.sndUna
+			payload = s.segSize(seq)
+			hole = true
+			if payload == 0 {
+				// Everything is acknowledged; stale flag.
+				s.rtxPending = false
+				continue
+			}
+		case s.sndNxt < s.totalBytes:
+			seq = s.sndNxt
+			payload = s.segSize(seq)
+			// Limited transmit extends the budget by one segment per early
+			// duplicate ACK (RFC 3042).
+			budget := s.cwndBytes() + int64(s.ltCredit)*int64(s.cfg.MSS)
+			if s.InflightBytes()+int64(payload) > budget {
+				return // window-limited
+			}
+		default:
+			return // nothing to send
+		}
+		// Anything at or below maxSent has been on the wire before: after a
+		// timeout's go-back-N rewind, "new" transmissions from sndNxt are
+		// really retransmissions.
+		isRtx := seq < s.maxSent
+
+		// Pacing gate: DCTCP+ regulates the sending time interval here.
+		// Each packet waits its pacing delay from when it became eligible,
+		// and consecutive packets are at least that delay apart. The draw
+		// is made once per packet (cached in headGap) so a randomized
+		// module yields one scatter per transmission, not per evaluation.
+		now := s.sched.Now()
+		if s.headWaitedFrom < 0 {
+			if gap := s.cc.PacingDelay(s); gap > 0 {
+				s.headWaitedFrom = now
+				s.headGap = gap
+			}
+		}
+		if s.headWaitedFrom >= 0 {
+			allowed := s.headWaitedFrom.Add(s.headGap)
+			if a2 := s.lastSendAt.Add(s.headGap); a2 > allowed {
+				allowed = a2
+			}
+			if allowed.After(now) {
+				if s.sendEv == nil {
+					s.sendEv = s.sched.At(allowed, func() {
+						s.sendEv = nil
+						s.pump()
+					})
+				}
+				return
+			}
+		}
+		s.headWaitedFrom = -1
+
+		s.transmit(seq, payload, isRtx)
+		if hole {
+			s.rtxPending = false
+		} else {
+			s.sndNxt += int64(payload)
+			if s.sndNxt > s.maxSent {
+				s.maxSent = s.sndNxt
+			}
+		}
+	}
+}
+
+// segSize returns the payload length of the segment starting at seq.
+func (s *Sender) segSize(seq int64) int {
+	rem := s.totalBytes - seq
+	if rem <= 0 {
+		return 0
+	}
+	if rem > int64(s.cfg.MSS) {
+		return s.cfg.MSS
+	}
+	return int(rem)
+}
+
+// transmit builds and sends one data segment.
+func (s *Sender) transmit(seq int64, payload int, rtx bool) {
+	now := s.sched.Now()
+	pkt := &packet.Packet{
+		Dst:        s.peer,
+		Flow:       s.flow,
+		Seq:        seq,
+		Payload:    payload,
+		SendTime:   now,
+		Retransmit: rtx,
+	}
+	if s.cfg.ECN != ECNOff {
+		pkt.ECN = packet.ECT
+	}
+	if s.needCWR {
+		pkt.Flags |= packet.FlagCWR
+		s.needCWR = false
+	}
+
+	// RTT timing (Karn): time one untransmitted segment at a time, and
+	// invalidate the pending sample if its range is retransmitted.
+	if rtx {
+		if s.timedValid && seq < s.timedSeq {
+			s.timedValid = false
+		}
+	} else if !s.timedValid {
+		s.timedSeq = seq + int64(payload)
+		s.timedAt = now
+		s.timedValid = true
+	}
+
+	s.stats.SentPkts++
+	s.stats.SentBytes += int64(payload)
+	if rtx {
+		s.stats.RetransPkts++
+		s.stats.RetransBytes += int64(payload)
+	}
+	// Table I instrumentation: a transmission attempted while the window
+	// is pinned at its floor and congestion feedback is still arriving.
+	if s.cwnd <= s.cfg.MinCwnd && s.lastAckECE {
+		s.stats.MinCwndECESends++
+	}
+
+	s.lastSendAt = now
+	s.host.Send(pkt)
+
+	if !s.rtoTimer.Armed() {
+		s.armRTO()
+	}
+}
+
+// armRTO (re)arms the retransmission timer and resets the feedback counter
+// used to classify an eventual expiry.
+func (s *Sender) armRTO() {
+	s.rtoTimer.Reset(s.RTO() + s.rng.Duration(s.cfg.RTOSlack))
+	s.acksSinceArm = 0
+}
+
+// Deliver processes an arriving packet (ACKs; data is ignored — the flow is
+// one-directional).
+func (s *Sender) Deliver(pkt *packet.Packet) {
+	if !pkt.Flags.Has(packet.FlagACK) {
+		return
+	}
+	now := s.sched.Now()
+	ece := pkt.Flags.Has(packet.FlagECE)
+	s.lastAckECE = ece
+	s.stats.AcksIn++
+	s.acksSinceArm++
+	if ece {
+		s.stats.ECEAcks++
+	}
+
+	ackNo := pkt.AckNo
+	var acked int64
+	switch {
+	case ackNo > s.sndUna:
+		acked = ackNo - s.sndUna
+		s.sndUna = ackNo
+		if s.timedValid && ackNo >= s.timedSeq {
+			s.rtt.Sample(now.Sub(s.timedAt))
+			s.timedValid = false
+		}
+		s.rtoBackoff = 0
+	case ackNo == s.sndUna && s.InflightBytes() > 0 && pkt.IsAck():
+		s.dupacks++
+		s.stats.DupAcks++
+		// RFC 3042: the first two duplicate ACKs each release one new
+		// segment beyond cwnd, probing for the third that triggers fast
+		// retransmit.
+		if s.cfg.LimitedTransmit && s.state == StateOpen &&
+			s.dupacks <= 2 && s.ltCredit < 2 {
+			s.ltCredit++
+		}
+	}
+
+	// Let the congestion module observe the raw feedback (DCTCP's alpha
+	// estimator, DCTCP+'s state machine) before the window changes.
+	s.cc.OnAck(s, acked, ece)
+
+	switch s.state {
+	case StateOpen:
+		if ece && s.sndUna > s.cwrEnd {
+			s.ecnReduce()
+		}
+		if acked > 0 {
+			s.dupacks = 0
+			s.ltCredit = 0
+			if !ece {
+				s.grow(acked)
+			}
+		}
+		if s.dupacks >= s.cfg.DupThresh {
+			s.enterRecovery()
+		}
+	case StateRecovery:
+		switch {
+		case ackNo >= s.recover:
+			// Full ACK: recovery complete, deflate to ssthresh.
+			s.state = StateOpen
+			s.cwnd = s.clampCwnd(s.ssthresh)
+			s.dupacks = 0
+		case acked > 0:
+			// Partial ACK: retransmit the next hole, deflate partially
+			// (RFC 6582).
+			s.cwnd -= float64(acked) / float64(s.cfg.MSS)
+			s.cwnd += 1
+			if s.cwnd < s.cfg.MinCwnd {
+				s.cwnd = s.cfg.MinCwnd
+			}
+			s.rtxPending = true
+			s.armRTO()
+		default:
+			// Duplicate ACK during recovery inflates the window so new
+			// data keeps flowing.
+			s.cwnd++
+		}
+	case StateLoss:
+		if acked > 0 {
+			s.dupacks = 0
+			if s.sndUna >= s.recover {
+				s.state = StateOpen
+			}
+			if !ece {
+				s.grow(acked)
+			}
+		}
+	}
+
+	// Timer management: progress re-arms, full acknowledgement disarms.
+	if acked > 0 {
+		if s.InflightBytes() > 0 {
+			s.armRTO()
+		} else {
+			s.rtoTimer.Stop()
+		}
+	}
+
+	if s.Done() && s.totalBytes > s.completeMark {
+		s.completeMark = s.totalBytes
+		s.stats.Completions++
+		if s.OnComplete != nil {
+			s.OnComplete(s.totalBytes)
+		}
+	}
+
+	s.pump()
+
+	if s.OnAckProbe != nil {
+		s.OnAckProbe(s, ece)
+	}
+}
+
+// grow applies slow start or congestion avoidance to the window, honoring
+// any growth cap imposed by the congestion module (see CwndCapper).
+func (s *Sender) grow(acked int64) {
+	if capper, ok := s.cc.(CwndCapper); ok {
+		if cap, active := capper.CwndCap(s); active && s.cwnd >= cap {
+			return
+		}
+	}
+	mss := float64(s.cfg.MSS)
+	if s.cwnd < s.ssthresh {
+		s.cwnd += float64(acked) / mss
+	} else {
+		s.cwnd += float64(acked) / (mss * s.cwnd)
+	}
+	s.cwnd = s.clampCwnd(s.cwnd)
+}
+
+// clampCwnd bounds a window value to [MinCwnd, MaxCwnd].
+func (s *Sender) clampCwnd(w float64) float64 {
+	if w < s.cfg.MinCwnd {
+		return s.cfg.MinCwnd
+	}
+	if w > s.cfg.MaxCwnd {
+		return s.cfg.MaxCwnd
+	}
+	return w
+}
+
+// ecnReduce performs the once-per-window ECN reaction: the congestion
+// module chooses the new threshold (Reno halves, DCTCP scales by alpha/2),
+// and the window cannot go below the configured floor — the exact
+// limitation (§IV-B) that motivates DCTCP+.
+func (s *Sender) ecnReduce() {
+	s.ssthresh = s.cc.SsthreshAfterECN(s)
+	if s.ssthresh < s.cfg.MinCwnd {
+		s.ssthresh = s.cfg.MinCwnd
+	}
+	s.cwnd = s.clampCwnd(s.ssthresh)
+	s.cwrEnd = s.sndNxt
+	s.needCWR = true
+}
+
+// enterRecovery begins NewReno fast recovery and retransmits the first
+// unacknowledged segment.
+func (s *Sender) enterRecovery() {
+	s.stats.FastRecoveries++
+	s.state = StateRecovery
+	s.recover = s.sndNxt
+	s.ssthresh = s.cc.SsthreshAfterLoss(s)
+	if s.ssthresh < s.cfg.MinCwnd {
+		s.ssthresh = s.cfg.MinCwnd
+	}
+	s.cwnd = s.ssthresh + float64(s.cfg.DupThresh) // window inflation
+	s.ltCredit = 0
+	s.rtxPending = true
+	s.armRTO()
+}
+
+// onRTO handles a retransmission timeout: classify it (FLoss vs LAck),
+// collapse the window to 1 MSS, and go-back-N from sndUna in slow start.
+func (s *Sender) onRTO() {
+	if s.InflightBytes() <= 0 {
+		return // spurious: everything acknowledged while timer fired
+	}
+	kind := LAckTO
+	if s.acksSinceArm == 0 {
+		kind = FLossTO
+	}
+	s.stats.Timeouts++
+	if kind == FLossTO {
+		s.stats.FLossTimeouts++
+	} else {
+		s.stats.LAckTimeouts++
+	}
+	if s.OnTimeoutEvent != nil {
+		s.OnTimeoutEvent(kind)
+	}
+
+	s.ssthresh = s.cc.SsthreshAfterLoss(s)
+	if s.ssthresh < s.cfg.MinCwnd {
+		s.ssthresh = s.cfg.MinCwnd
+	}
+	// Loss window: cwnd collapses to 1 MSS regardless of the floor; the
+	// paper reads cwnd=1 samples as the timeout signature (Fig. 2).
+	s.cwnd = 1
+	s.state = StateLoss
+	s.recover = s.sndNxt
+	s.dupacks = 0
+	s.ltCredit = 0
+	s.timedValid = false
+
+	// Go-back-N: rewind and retransmit from the first hole. Cumulative
+	// ACKs from the receiver's reassembly buffer jump sndUna forward past
+	// data that survived, so little is actually resent twice.
+	s.sndNxt = s.sndUna
+	s.rtxPending = false
+
+	s.cc.OnTimeout(s)
+
+	if s.rtoBackoff < 16 {
+		s.rtoBackoff++
+	}
+	s.armRTO()
+	s.pump()
+}

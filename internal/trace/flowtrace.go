@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"dctcpplus/internal/sim"
+	"dctcpplus/internal/tcp"
+)
+
+// FlowSample is one tcp_probe-style record: the sender state at one ACK.
+type FlowSample struct {
+	At       sim.Time
+	CwndMSS  float64
+	Ssthresh float64
+	State    tcp.SenderState
+	ECE      bool
+	SndUna   int64
+	SRTT     sim.Duration
+}
+
+// FlowTrace records the full per-ACK time series of one sender — the
+// moral equivalent of the paper's tcp_probe/Kprobes instrumentation
+// ("we trace all the congestion window size evolution and the ECE flag
+// bit in TCP's headers of all concurrent flows"). A MaxSamples bound keeps
+// long experiments from accumulating unbounded traces (0 = unbounded).
+type FlowTrace struct {
+	samples    []FlowSample
+	MaxSamples int
+	dropped    int64
+}
+
+// NewFlowTrace returns an empty trace bounded to maxSamples (0 = no bound).
+func NewFlowTrace(maxSamples int) *FlowTrace {
+	return &FlowTrace{MaxSamples: maxSamples}
+}
+
+// Attach hooks the trace onto the sender's ACK probe, chaining any
+// existing hook.
+func (ft *FlowTrace) Attach(s *tcp.Sender) {
+	prev := s.OnAckProbe
+	s.OnAckProbe = func(snd *tcp.Sender, ece bool) {
+		ft.Observe(snd, ece)
+		if prev != nil {
+			prev(snd, ece)
+		}
+	}
+}
+
+// Observe appends one sample.
+func (ft *FlowTrace) Observe(s *tcp.Sender, ece bool) {
+	if ft.MaxSamples > 0 && len(ft.samples) >= ft.MaxSamples {
+		ft.dropped++
+		return
+	}
+	ft.samples = append(ft.samples, FlowSample{
+		At:       s.Now(),
+		CwndMSS:  s.CwndMSS(),
+		Ssthresh: s.SsthreshMSS(),
+		State:    s.State(),
+		ECE:      ece,
+		SndUna:   s.SndUna(),
+		SRTT:     s.SRTT(),
+	})
+}
+
+// Samples returns the recorded series.
+func (ft *FlowTrace) Samples() []FlowSample { return ft.samples }
+
+// Dropped returns how many samples the bound discarded.
+func (ft *FlowTrace) Dropped() int64 { return ft.dropped }
+
+// WriteTo dumps the trace as aligned text rows (one per ACK).
+func (ft *FlowTrace) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	c, err := fmt.Fprintf(w, "%-12s %8s %8s %-9s %-5s %10s %10s\n",
+		"time", "cwnd", "ssthresh", "state", "ece", "snd_una", "srtt")
+	n += int64(c)
+	if err != nil {
+		return n, err
+	}
+	for _, s := range ft.samples {
+		c, err = fmt.Fprintf(w, "%-12v %8.2f %8.1f %-9v %-5v %10d %10v\n",
+			s.At, s.CwndMSS, s.Ssthresh, s.State, s.ECE, s.SndUna, s.SRTT)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

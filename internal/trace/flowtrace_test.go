@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"dctcpplus/internal/netsim"
+	"dctcpplus/internal/packet"
+	"dctcpplus/internal/sim"
+	"dctcpplus/internal/tcp"
+)
+
+func TestFlowTraceRecordsSeries(t *testing.T) {
+	s := sim.NewScheduler()
+	star := netsim.NewStar(s, 2, netsim.DefaultTopologyConfig())
+	c := tcp.NewConn(tcp.DefaultConfig(), tcp.NewReno{}, star.Hosts[0], star.Hosts[1], 1)
+	ft := NewFlowTrace(0)
+	ft.Attach(c.Sender)
+	c.Sender.Send(32 * packet.MSS)
+	s.Run()
+	if !c.Sender.Done() {
+		t.Fatal("incomplete")
+	}
+	samples := ft.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	// Time must be nondecreasing and snd_una monotone.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].At < samples[i-1].At {
+			t.Fatal("time went backwards")
+		}
+		if samples[i].SndUna < samples[i-1].SndUna {
+			t.Fatal("snd_una went backwards")
+		}
+	}
+	last := samples[len(samples)-1]
+	if last.SndUna != 32*packet.MSS {
+		t.Errorf("final snd_una = %d", last.SndUna)
+	}
+	if ft.Dropped() != 0 {
+		t.Error("unbounded trace dropped samples")
+	}
+}
+
+func TestFlowTraceBound(t *testing.T) {
+	s := sim.NewScheduler()
+	star := netsim.NewStar(s, 2, netsim.DefaultTopologyConfig())
+	c := tcp.NewConn(tcp.DefaultConfig(), tcp.NewReno{}, star.Hosts[0], star.Hosts[1], 1)
+	ft := NewFlowTrace(5)
+	ft.Attach(c.Sender)
+	c.Sender.Send(64 * packet.MSS)
+	s.Run()
+	if len(ft.Samples()) != 5 {
+		t.Errorf("samples = %d, want bounded to 5", len(ft.Samples()))
+	}
+	if ft.Dropped() == 0 {
+		t.Error("bound did not drop anything")
+	}
+}
+
+func TestFlowTraceWriteTo(t *testing.T) {
+	s := sim.NewScheduler()
+	star := netsim.NewStar(s, 2, netsim.DefaultTopologyConfig())
+	c := tcp.NewConn(tcp.DefaultConfig(), tcp.NewReno{}, star.Hosts[0], star.Hosts[1], 1)
+	ft := NewFlowTrace(0)
+	ft.Attach(c.Sender)
+	c.Sender.Send(4 * packet.MSS)
+	s.Run()
+	var sb strings.Builder
+	n, err := ft.WriteTo(&sb)
+	if err != nil || n == 0 {
+		t.Fatalf("WriteTo: %d %v", n, err)
+	}
+	out := sb.String()
+	for _, col := range []string{"time", "cwnd", "ssthresh", "snd_una"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("missing column %q", col)
+		}
+	}
+	if strings.Count(out, "\n") != len(ft.Samples())+1 {
+		t.Errorf("row count mismatch")
+	}
+}

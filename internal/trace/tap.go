@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"dctcpplus/internal/netsim"
+	"dctcpplus/internal/packet"
+	"dctcpplus/internal/sim"
+)
+
+// TapRecord is one captured packet transmission at a port.
+type TapRecord struct {
+	At      sim.Time
+	Flow    packet.FlowID
+	Src     packet.NodeID
+	Dst     packet.NodeID
+	Seq     int64
+	AckNo   int64
+	Payload int
+	Flags   packet.Flags
+	ECN     packet.ECN
+}
+
+// PacketTap captures packets leaving a switch/host port — the tcpdump of
+// the simulator. An optional filter restricts capture; MaxRecords bounds
+// memory (0 = unbounded).
+type PacketTap struct {
+	sched *sim.Scheduler
+
+	// Filter, when non-nil, must return true for a packet to be captured.
+	Filter func(*packet.Packet) bool
+	// MaxRecords bounds the capture length (0 = unbounded).
+	MaxRecords int
+
+	records []TapRecord
+	dropped int64
+}
+
+// NewPacketTap installs a tap on the port's transmit hook, chaining any
+// existing hook.
+func NewPacketTap(sched *sim.Scheduler, port *netsim.Port, maxRecords int) *PacketTap {
+	t := &PacketTap{sched: sched, MaxRecords: maxRecords}
+	prev := port.OnTransmit
+	port.OnTransmit = func(p *packet.Packet) {
+		t.observe(p)
+		if prev != nil {
+			prev(p)
+		}
+	}
+	return t
+}
+
+func (t *PacketTap) observe(p *packet.Packet) {
+	if t.Filter != nil && !t.Filter(p) {
+		return
+	}
+	if t.MaxRecords > 0 && len(t.records) >= t.MaxRecords {
+		t.dropped++
+		return
+	}
+	t.records = append(t.records, TapRecord{
+		At:      t.sched.Now(),
+		Flow:    p.Flow,
+		Src:     p.Src,
+		Dst:     p.Dst,
+		Seq:     p.Seq,
+		AckNo:   p.AckNo,
+		Payload: p.Payload,
+		Flags:   p.Flags,
+		ECN:     p.ECN,
+	})
+}
+
+// Records returns the captured packets in transmission order.
+func (t *PacketTap) Records() []TapRecord { return t.records }
+
+// Dropped returns how many matching packets the bound discarded.
+func (t *PacketTap) Dropped() int64 { return t.dropped }
+
+// WriteTo dumps the capture as aligned text rows.
+func (t *PacketTap) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	c, err := fmt.Fprintf(w, "%-12s %6s %5s %5s %10s %10s %6s %-12s %-6s\n",
+		"time", "flow", "src", "dst", "seq", "ack", "len", "flags", "ecn")
+	n += int64(c)
+	if err != nil {
+		return n, err
+	}
+	for _, r := range t.records {
+		c, err = fmt.Fprintf(w, "%-12v %6d %5d %5d %10d %10d %6d %-12v %-6v\n",
+			r.At, r.Flow, r.Src, r.Dst, r.Seq, r.AckNo, r.Payload, r.Flags, r.ECN)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"dctcpplus/internal/netsim"
+	"dctcpplus/internal/packet"
+	"dctcpplus/internal/sim"
+	"dctcpplus/internal/tcp"
+)
+
+func TestPacketTapCapturesTransmissions(t *testing.T) {
+	s := sim.NewScheduler()
+	star := netsim.NewStar(s, 2, netsim.DefaultTopologyConfig())
+	port := star.Switch.RouteTo(star.Hosts[1].ID())
+	tap := NewPacketTap(s, port, 0)
+
+	c := tcp.NewConn(tcp.DefaultConfig(), tcp.NewReno{}, star.Hosts[0], star.Hosts[1], 1)
+	c.Sender.Send(8 * packet.MSS)
+	s.Run()
+
+	recs := tap.Records()
+	if len(recs) != 8 {
+		t.Fatalf("captured %d data packets, want 8", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].At < recs[i-1].At {
+			t.Fatal("capture times not monotone")
+		}
+		if recs[i].Seq <= recs[i-1].Seq {
+			t.Fatal("clean transfer seqs not increasing")
+		}
+	}
+	if tap.Dropped() != 0 {
+		t.Error("unbounded tap dropped records")
+	}
+}
+
+func TestPacketTapFilterAndBound(t *testing.T) {
+	s := sim.NewScheduler()
+	star := netsim.NewStar(s, 3, netsim.DefaultTopologyConfig())
+	port := star.Switch.RouteTo(star.Hosts[2].ID())
+	tap := NewPacketTap(s, port, 3)
+	tap.Filter = func(p *packet.Packet) bool { return p.Flow == 2 }
+
+	for _, fl := range []packet.FlowID{1, 2} {
+		c := tcp.NewConn(tcp.DefaultConfig(), tcp.NewReno{},
+			star.Hosts[int(fl)-1], star.Hosts[2], fl)
+		c.Sender.Send(6 * packet.MSS)
+	}
+	s.Run()
+
+	recs := tap.Records()
+	if len(recs) != 3 {
+		t.Fatalf("bounded capture = %d, want 3", len(recs))
+	}
+	for _, r := range recs {
+		if r.Flow != 2 {
+			t.Fatalf("filter leaked flow %d", r.Flow)
+		}
+	}
+	if tap.Dropped() != 3 {
+		t.Errorf("dropped = %d, want 3", tap.Dropped())
+	}
+}
+
+func TestPacketTapWriteTo(t *testing.T) {
+	s := sim.NewScheduler()
+	star := netsim.NewStar(s, 2, netsim.DefaultTopologyConfig())
+	port := star.Switch.RouteTo(star.Hosts[1].ID())
+	tap := NewPacketTap(s, port, 0)
+	c := tcp.NewConn(tcp.DefaultConfig(), tcp.NewReno{}, star.Hosts[0], star.Hosts[1], 1)
+	c.Sender.Send(2 * packet.MSS)
+	s.Run()
+	var sb strings.Builder
+	if _, err := tap.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "flow") || strings.Count(sb.String(), "\n") != 3 {
+		t.Errorf("dump malformed:\n%s", sb.String())
+	}
+}
+
+func TestSwitchAggregateStats(t *testing.T) {
+	s := sim.NewScheduler()
+	star := netsim.NewStar(s, 3, netsim.DefaultTopologyConfig())
+	for i := 0; i < 2; i++ {
+		c := tcp.NewConn(tcp.DefaultConfig(), tcp.NewReno{},
+			star.Hosts[i], star.Hosts[2], packet.FlowID(i+1))
+		c.Sender.Send(4 * packet.MSS)
+	}
+	s.Run()
+	agg := star.Switch.AggregateStats()
+	if agg.Ports != 3 {
+		t.Errorf("ports = %d", agg.Ports)
+	}
+	if agg.EnqueuedPkts == 0 || agg.EnqueuedPkts != agg.DequeuedPkts {
+		t.Errorf("aggregate accounting: %+v", agg)
+	}
+	if agg.DroppedPkts != 0 {
+		t.Errorf("unexpected drops: %+v", agg)
+	}
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"dctcpplus/internal/netsim"
+	"dctcpplus/internal/packet"
+	"dctcpplus/internal/sim"
+	"dctcpplus/internal/stats"
+	"dctcpplus/internal/tcp"
+)
+
+// LongFlow is a persistent bulk transfer (the paper's §VI-C background
+// traffic). The sender keeps the stream continuously backlogged — as a real
+// bulk application writing into the socket does — and throughput is
+// accounted at the receiver: every ChunkBytes of delivered payload records
+// one throughput sample, mirroring the paper's "collect the average
+// throughput of two DCTCP+ long flows every time transmitting 1GB data".
+// Chunk size is configurable so simulations stay tractable.
+type LongFlow struct {
+	sched *sim.Scheduler
+	conn  *tcp.Conn
+	chunk int64
+
+	running    bool
+	delivered  int64
+	chunkStart sim.Time
+	backlog    int64 // bytes handed to the sender but not yet delivered
+
+	throughput []float64 // Mbps per completed chunk
+}
+
+// NewLongFlow wires a persistent flow from one host to another.
+func NewLongFlow(sched *sim.Scheduler, from, to *netsim.Host, flow packet.FlowID,
+	cfg tcp.Config, cc tcp.CongestionControl, chunkBytes int64) *LongFlow {
+	if chunkBytes <= 0 {
+		panic("workload: chunkBytes must be positive")
+	}
+	lf := &LongFlow{
+		sched: sched,
+		chunk: chunkBytes,
+	}
+	lf.conn = tcp.NewConn(cfg, cc, from, to, flow)
+	lf.conn.Receiver.OnData = func(n int64) {
+		lf.delivered += n
+		lf.backlog -= n
+		for lf.delivered >= lf.chunk {
+			lf.delivered -= lf.chunk
+			now := lf.sched.Now()
+			lf.throughput = append(lf.throughput,
+				stats.Mbps(lf.chunk, now.Sub(lf.chunkStart).Seconds()))
+			lf.chunkStart = now
+		}
+		lf.refill()
+	}
+	return lf
+}
+
+// Conn returns the underlying connection.
+func (lf *LongFlow) Conn() *tcp.Conn { return lf.conn }
+
+// Start begins the transfer.
+func (lf *LongFlow) Start() {
+	if lf.running {
+		return
+	}
+	lf.running = true
+	lf.chunkStart = lf.sched.Now()
+	lf.refill()
+}
+
+// Stop ceases refilling; in-flight data drains and no further samples are
+// recorded beyond completed chunks.
+func (lf *LongFlow) Stop() { lf.running = false }
+
+// refill keeps at least two chunks of data queued at the sender so the
+// stream never goes idle between accounting boundaries.
+func (lf *LongFlow) refill() {
+	if !lf.running {
+		return
+	}
+	for lf.backlog < 2*lf.chunk {
+		lf.conn.Sender.Send(lf.chunk)
+		lf.backlog += lf.chunk
+	}
+}
+
+// ChunkThroughputMbps returns the per-chunk throughput series.
+func (lf *LongFlow) ChunkThroughputMbps() []float64 { return lf.throughput }
+
+// TotalBytes returns the payload bytes delivered so far.
+func (lf *LongFlow) TotalBytes() int64 {
+	return int64(len(lf.throughput))*lf.chunk + lf.delivered
+}
+
+// MeanThroughputMbps returns the mean per-chunk throughput (0 if no chunk
+// has completed).
+func (lf *LongFlow) MeanThroughputMbps() float64 {
+	if len(lf.throughput) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range lf.throughput {
+		sum += v
+	}
+	return sum / float64(len(lf.throughput))
+}

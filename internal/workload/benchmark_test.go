@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"testing"
+
+	"dctcpplus/internal/netsim"
+	"dctcpplus/internal/sim"
+)
+
+func runBenchmark(t *testing.T, cfg BenchmarkConfig) *Benchmark {
+	t.Helper()
+	sched := sim.NewScheduler()
+	tt := netsim.NewTwoTier(sched, 3, 3, netsim.DefaultTopologyConfig())
+	b := NewBenchmark(sched, tt, cfg)
+	b.OnFinished = sched.Halt
+	b.Start()
+	sched.RunUntil(sim.Time(30 * 60 * sim.Second))
+	if !b.Finished() {
+		t.Fatalf("benchmark incomplete: %d/%d queries, %d/%d background",
+			len(b.QueryResults()), cfg.Queries, len(b.BackgroundResults()), cfg.BackgroundFlows)
+	}
+	return b
+}
+
+func smallBenchCfg() BenchmarkConfig {
+	cfg := DefaultBenchmarkConfig()
+	cfg.Queries = 40
+	cfg.BackgroundFlows = 40
+	cfg.BackgroundMaxBytes = 1 << 20
+	cfg.Factory = dctcpFactory(10 * sim.Millisecond)
+	cfg.Seed = 3
+	return cfg
+}
+
+func TestBenchmarkCompletes(t *testing.T) {
+	b := runBenchmark(t, smallBenchCfg())
+	if len(b.QueryResults()) != 40 || len(b.BackgroundResults()) != 40 {
+		t.Fatalf("results: %d queries, %d background",
+			len(b.QueryResults()), len(b.BackgroundResults()))
+	}
+	for i, q := range b.QueryResults() {
+		if q.FCT <= 0 {
+			t.Errorf("query %d FCT = %v", i, q.FCT)
+		}
+		// A 9x2KB fan-in on an idle-ish network takes well under 10ms
+		// unless a timeout struck; with DCTCP and RTOmin=10ms even a
+		// timeout keeps it under ~50ms.
+		if q.FCT > 100*sim.Millisecond {
+			t.Errorf("query %d FCT = %v, suspiciously slow", i, q.FCT)
+		}
+	}
+	for i, f := range b.BackgroundResults() {
+		if f.Bytes < (10 << 10) {
+			t.Errorf("background %d size = %d below min", i, f.Bytes)
+		}
+		if f.FCT <= 0 {
+			t.Errorf("background %d FCT = %v", i, f.FCT)
+		}
+	}
+}
+
+func TestBenchmarkDeterministicGivenSeed(t *testing.T) {
+	a := runBenchmark(t, smallBenchCfg())
+	b := runBenchmark(t, smallBenchCfg())
+	qa, qb := a.QueryResults(), b.QueryResults()
+	if len(qa) != len(qb) {
+		t.Fatal("different query counts")
+	}
+	for i := range qa {
+		if qa[i] != qb[i] {
+			t.Fatalf("query %d differs: %+v vs %+v", i, qa[i], qb[i])
+		}
+	}
+}
+
+func TestBenchmarkSeedChangesOutcome(t *testing.T) {
+	cfg := smallBenchCfg()
+	a := runBenchmark(t, cfg)
+	cfg.Seed = 4
+	b := runBenchmark(t, cfg)
+	same := true
+	for i := range a.QueryResults() {
+		if a.QueryResults()[i] != b.QueryResults()[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical query traces")
+	}
+}
+
+func TestBenchmarkHeavyTailSizes(t *testing.T) {
+	cfg := smallBenchCfg()
+	cfg.Queries = 0
+	cfg.BackgroundFlows = 300
+	cfg.BackgroundMeanGap = 2 * sim.Millisecond
+	b := runBenchmark(t, cfg)
+	small, large := 0, 0
+	for _, f := range b.BackgroundResults() {
+		if f.Bytes < 100<<10 {
+			small++
+		}
+		if f.Bytes > 500<<10 {
+			large++
+		}
+	}
+	if small == 0 || large == 0 {
+		t.Errorf("size distribution not heavy-tailed: %d small, %d large", small, large)
+	}
+	if small < large {
+		t.Errorf("expected many more small flows than large: %d vs %d", small, large)
+	}
+}
+
+func TestBenchmarkShortMessages(t *testing.T) {
+	cfg := smallBenchCfg()
+	cfg.Queries = 0
+	cfg.BackgroundFlows = 0
+	cfg.ShortFlows = 50
+	b := runBenchmark(t, cfg)
+	if len(b.ShortResults()) != 50 {
+		t.Fatalf("short = %d", len(b.ShortResults()))
+	}
+	for i, f := range b.ShortResults() {
+		if f.Bytes < cfg.ShortMinBytes || f.Bytes > cfg.ShortMaxBytes {
+			t.Errorf("short %d size %d outside [%d, %d]", i, f.Bytes, cfg.ShortMinBytes, cfg.ShortMaxBytes)
+		}
+		if f.FCT <= 0 {
+			t.Errorf("short %d FCT %v", i, f.FCT)
+		}
+	}
+}
+
+func TestBenchmarkAllThreeClasses(t *testing.T) {
+	cfg := smallBenchCfg()
+	cfg.Queries = 20
+	cfg.ShortFlows = 20
+	cfg.BackgroundFlows = 20
+	b := runBenchmark(t, cfg)
+	if len(b.QueryResults()) != 20 || len(b.ShortResults()) != 20 || len(b.BackgroundResults()) != 20 {
+		t.Fatalf("classes: %d/%d/%d", len(b.QueryResults()), len(b.ShortResults()), len(b.BackgroundResults()))
+	}
+}
+
+func TestBenchmarkShortValidation(t *testing.T) {
+	sched := sim.NewScheduler()
+	tt := netsim.NewTwoTier(sched, 1, 1, netsim.DefaultTopologyConfig())
+	cfg := smallBenchCfg()
+	cfg.ShortFlows = 5
+	cfg.ShortMinBytes = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("bad short config did not panic")
+		}
+	}()
+	NewBenchmark(sched, tt, cfg)
+}
+
+func TestBenchmarkQueriesOnly(t *testing.T) {
+	cfg := smallBenchCfg()
+	cfg.BackgroundFlows = 0
+	b := runBenchmark(t, cfg)
+	if len(b.QueryResults()) != cfg.Queries {
+		t.Fatal("missing queries")
+	}
+}
+
+func TestBenchmarkValidation(t *testing.T) {
+	sched := sim.NewScheduler()
+	tt := netsim.NewTwoTier(sched, 1, 1, netsim.DefaultTopologyConfig())
+	bad := []func(*BenchmarkConfig){
+		func(c *BenchmarkConfig) { c.Queries, c.ShortFlows, c.BackgroundFlows = 0, 0, 0 },
+		func(c *BenchmarkConfig) { c.Queries = -1 },
+		func(c *BenchmarkConfig) { c.QueryResponseBytes = 0 },
+		func(c *BenchmarkConfig) { c.QueryMeanGap = 0 },
+		func(c *BenchmarkConfig) { c.BackgroundMinBytes = 0 },
+		func(c *BenchmarkConfig) { c.BackgroundMaxBytes = c.BackgroundMinBytes - 1 },
+		func(c *BenchmarkConfig) { c.BackgroundAlpha = 0 },
+		func(c *BenchmarkConfig) { c.Factory = nil },
+	}
+	for i, mut := range bad {
+		cfg := smallBenchCfg()
+		mut(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad config %d did not panic", i)
+				}
+			}()
+			NewBenchmark(sched, tt, cfg)
+		}()
+	}
+}

@@ -1,0 +1,260 @@
+// Package workload implements the traffic patterns of the paper's
+// evaluation: the barrier-synchronized incast benchmark (§III, §VI-B),
+// persistent background flows (§VI-C), and the production-cluster-style
+// benchmark mix of queries and heavy-tailed background transfers (§VI-D).
+package workload
+
+import (
+	"fmt"
+
+	"dctcpplus/internal/netsim"
+	"dctcpplus/internal/packet"
+	"dctcpplus/internal/sim"
+	"dctcpplus/internal/tcp"
+)
+
+// FlowFactory produces the transport configuration and congestion-control
+// module for the i-th flow of a workload. Factories must return a fresh
+// CongestionControl per call (modules hold per-sender state) and should
+// derive cfg.Seed from i so concurrent flows draw independent random
+// streams.
+type FlowFactory func(i int) (tcp.Config, tcp.CongestionControl)
+
+// IncastConfig parameterizes the basic incast benchmark: the aggregator
+// requests BytesPerFlow from each of Flows workers, waits for all
+// responses, and immediately issues the next round, Rounds times.
+type IncastConfig struct {
+	// Flows is N, the number of concurrent senders.
+	Flows int
+	// BytesPerFlow is the response size per flow per round. The paper's
+	// basic experiment uses 1MB/N; Figure 14 uses 4MB per flow.
+	BytesPerFlow int64
+	// Rounds is the number of request/response rounds (1000 in the paper).
+	Rounds int
+	// Factory builds each flow's transport.
+	Factory FlowFactory
+	// ServiceJitter models worker-side request processing delay: each
+	// response starts after an independent uniform delay in
+	// [0, ServiceJitter). Zero yields the fully synchronized worst case.
+	ServiceJitter sim.Duration
+	// ServiceTime models the per-response CPU cost on a worker,
+	// exponentially distributed with this mean and *serialized per worker
+	// host*: the paper's benchmark runs N/9 sender threads on each
+	// dual-core server, so responses leave a machine staggered by
+	// scheduling, with the stagger growing with the number of colocated
+	// flows. Zero disables service-time modeling.
+	ServiceTime sim.Duration
+	// Seed drives the service-jitter/service-time streams.
+	Seed uint64
+}
+
+func (c IncastConfig) validate() {
+	switch {
+	case c.Flows <= 0:
+		panic("workload: incast needs at least one flow")
+	case c.BytesPerFlow <= 0:
+		panic("workload: BytesPerFlow must be positive")
+	case c.Rounds <= 0:
+		panic("workload: Rounds must be positive")
+	case c.Factory == nil:
+		panic("workload: nil FlowFactory")
+	}
+}
+
+// FlowRound captures one flow's per-round event flags, the unit of the
+// paper's Table I percentages ("among all transmissions" = among all
+// request rounds).
+type FlowRound struct {
+	Timeout    bool // the flow hit at least one RTO this round
+	MinCwndECE bool // the flow sent with cwnd at the floor while ECE was set
+}
+
+// RoundResult records one completed incast round.
+type RoundResult struct {
+	Start sim.Time
+	FCT   sim.Duration // request issue to last response byte
+	Bytes int64        // total payload delivered this round
+	Flows []FlowRound
+}
+
+// GoodputMbps returns the round's application goodput in Mbps.
+func (r RoundResult) GoodputMbps() float64 {
+	if r.FCT <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) * 8 / 1e6 / r.FCT.Seconds()
+}
+
+// Incast drives the barrier-synchronized incast workload over a two-tier
+// topology. Connections are persistent: the same N flows serve every
+// round, as in the multithreaded benchmark the paper adapted.
+type Incast struct {
+	sched *sim.Scheduler
+	tt    *netsim.TwoTier
+	cfg   IncastConfig
+
+	conns   []*tcp.Conn
+	senders map[packet.FlowID]*tcp.Sender
+	rng     *sim.RNG
+
+	// cpuFree[h] is the virtual time at which worker host h's CPU becomes
+	// available to start the next response (service-time serialization).
+	cpuFree map[packet.NodeID]sim.Time
+	// workerOf maps a flow to its worker host for service accounting.
+	workerOf map[packet.FlowID]packet.NodeID
+
+	round      int
+	roundStart sim.Time
+	recvd      []int64
+	doneFlows  int
+	statsMark  []tcp.SenderStats // per-flow snapshot at round start
+
+	results []RoundResult
+
+	// OnFinished fires after the final round completes. Experiments
+	// typically halt the scheduler here.
+	OnFinished func()
+}
+
+// NewIncast wires the incast workload onto the topology: flow i's sender
+// lives on worker i mod W (the paper round-robins threads over its nine
+// servers) and its receiver on the aggregator.
+func NewIncast(sched *sim.Scheduler, tt *netsim.TwoTier, cfg IncastConfig) *Incast {
+	cfg.validate()
+	in := &Incast{
+		sched:     sched,
+		tt:        tt,
+		cfg:       cfg,
+		senders:   make(map[packet.FlowID]*tcp.Sender, cfg.Flows),
+		recvd:     make([]int64, cfg.Flows),
+		statsMark: make([]tcp.SenderStats, cfg.Flows),
+		rng:       sim.NewRNG(cfg.Seed ^ 0x1ca5717e),
+		cpuFree:   make(map[packet.NodeID]sim.Time),
+		workerOf:  make(map[packet.FlowID]packet.NodeID),
+	}
+	for i := 0; i < cfg.Flows; i++ {
+		i := i
+		w := tt.Workers[i%len(tt.Workers)]
+		tcfg, cc := cfg.Factory(i)
+		flow := packet.FlowID(i + 1)
+		conn := tcp.NewConn(tcfg, cc, w, tt.Aggregator, flow)
+		conn.Receiver.OnData = func(n int64) { in.onData(i, n) }
+		in.conns = append(in.conns, conn)
+		in.senders[flow] = conn.Sender
+		in.workerOf[flow] = w.ID()
+	}
+	// All workers dispatch arriving requests to the matching flow sender.
+	for _, w := range tt.Workers {
+		w.OnControl = in.onRequest
+	}
+	return in
+}
+
+// Conns returns the workload's connections (flow i at index i), for
+// attaching probes.
+func (in *Incast) Conns() []*tcp.Conn { return in.conns }
+
+// Results returns the completed rounds so far.
+func (in *Incast) Results() []RoundResult { return in.results }
+
+// Finished reports whether all rounds completed.
+func (in *Incast) Finished() bool { return in.round >= in.cfg.Rounds && in.doneFlows == 0 }
+
+// Start issues the first round's requests. The caller then runs the
+// scheduler.
+func (in *Incast) Start() { in.startRound() }
+
+func (in *Incast) startRound() {
+	in.roundStart = in.sched.Now()
+	in.doneFlows = 0
+	for i := range in.recvd {
+		in.recvd[i] = 0
+		in.statsMark[i] = in.conns[i].Sender.Stats()
+	}
+	// The aggregator's requests are real 40-byte packets sharing the
+	// reverse path with ACKs; every worker receives its request at nearly
+	// the same instant — the synchronization at the heart of incast.
+	for i, c := range in.conns {
+		in.tt.Aggregator.Send(&packet.Packet{
+			Dst:      c.Receiver.Peer(),
+			Flow:     packet.FlowID(i + 1),
+			Flags:    packet.FlagREQ,
+			ReqBytes: in.cfg.BytesPerFlow,
+			SendTime: in.sched.Now(),
+		})
+	}
+}
+
+// onRequest runs on a worker when the aggregator's request arrives: the
+// matching sender responds with the requested bytes after its service
+// delay.
+func (in *Incast) onRequest(pkt *packet.Packet) {
+	snd, ok := in.senders[pkt.Flow]
+	if !ok {
+		panic(fmt.Sprintf("workload: request for unknown flow %d", pkt.Flow))
+	}
+	n := pkt.ReqBytes
+	delay := sim.Duration(0)
+	if in.cfg.ServiceJitter > 0 {
+		delay = in.rng.Duration(in.cfg.ServiceJitter)
+	}
+	if in.cfg.ServiceTime > 0 {
+		// Serialize response preparation on the worker's CPU: this
+		// response starts when the CPU frees up, and holds it for an
+		// exponential service time.
+		w := in.workerOf[pkt.Flow]
+		start := in.sched.Now().Add(delay)
+		if free := in.cpuFree[w]; free > start {
+			start = free
+		}
+		done := start.Add(in.rng.Exp(in.cfg.ServiceTime))
+		in.cpuFree[w] = done
+		in.sched.At(done, func() { snd.Send(n) })
+		return
+	}
+	if delay > 0 {
+		in.sched.After(delay, func() { snd.Send(n) })
+		return
+	}
+	snd.Send(n)
+}
+
+// onData tracks per-flow response progress; when the last byte of the last
+// flow arrives the round closes and the next begins.
+func (in *Incast) onData(i int, n int64) {
+	in.recvd[i] += n
+	if in.recvd[i] == in.cfg.BytesPerFlow {
+		in.doneFlows++
+		if in.doneFlows == in.cfg.Flows {
+			in.endRound()
+		}
+	}
+}
+
+func (in *Incast) endRound() {
+	now := in.sched.Now()
+	res := RoundResult{
+		Start: in.roundStart,
+		FCT:   now.Sub(in.roundStart),
+		Bytes: in.cfg.BytesPerFlow * int64(in.cfg.Flows),
+		Flows: make([]FlowRound, in.cfg.Flows),
+	}
+	for i, c := range in.conns {
+		st := c.Sender.Stats()
+		mark := in.statsMark[i]
+		res.Flows[i] = FlowRound{
+			Timeout:    st.Timeouts > mark.Timeouts,
+			MinCwndECE: st.MinCwndECESends > mark.MinCwndECESends,
+		}
+	}
+	in.results = append(in.results, res)
+	in.round++
+	in.doneFlows = 0
+	if in.round < in.cfg.Rounds {
+		in.startRound()
+		return
+	}
+	if in.OnFinished != nil {
+		in.OnFinished()
+	}
+}
