@@ -1,0 +1,40 @@
+# Developer entry points. `make check` is the gate every change must pass:
+# build + vet + race-enabled tests, with gofmt drift treated as a failure.
+
+GO ?= go
+
+.PHONY: all build vet test race fmt-check check bench baseline clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Fails (and lists the offenders) if any file is not gofmt-formatted.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: build vet fmt-check race
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the committed telemetry baseline manifest (reduced scale; see
+# cmd/report -h for the full-figure knobs).
+baseline:
+	$(GO) run ./cmd/report -rounds 24 -warmup 6 -baseline BENCH_baseline.json
+
+clean:
+	$(GO) clean ./...

@@ -35,8 +35,15 @@ func main() {
 		rtoMin = flag.Duration("rtomin", 200*time.Millisecond, "minimum (and initial) RTO")
 		jitter = flag.Duration("jitter", 4*time.Millisecond, "worker service jitter")
 		seed   = flag.Uint64("seed", 1, "experiment seed")
+		telOut = flag.String("telemetry", "",
+			"write the sweep's instrument dump to this file as JSON lines")
 	)
 	flag.Parse()
+
+	var reg *dcp.Registry
+	if *telOut != "" {
+		reg = dcp.NewRegistry()
+	}
 
 	flowCounts, err := parseInts(*flows)
 	if err != nil {
@@ -59,9 +66,27 @@ func main() {
 		o.RTOMin = dcp.Duration(*rtoMin)
 		o.Testbed.ServiceJitter = dcp.Duration(*jitter)
 		o.Testbed.Seed = *seed
+		o.Telemetry = reg
 		all = append(all, dcp.SweepIncastParallel(o, flowCounts)...)
 	}
 	dcp.PrintIncastRows(os.Stdout, all)
+
+	if reg != nil {
+		f, err := os.Create(*telOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "incast:", err)
+			os.Exit(1)
+		}
+		snap := reg.Snapshot()
+		if err := snap.WriteJSONLines(f); err == nil {
+			err = f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "incast:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: %d instruments -> %s\n", len(snap.Instruments), *telOut)
+	}
 }
 
 func parseInts(csv string) ([]int, error) {

@@ -21,6 +21,10 @@ var (
 	rounds = flag.Int("rounds", 50, "incast rounds per experiment point")
 	warmup = flag.Int("warmup", 10, "initial rounds excluded from statistics")
 	seed   = flag.Uint64("seed", 1, "experiment seed")
+	telOut = flag.String("telemetry", "",
+		"write the battery's instrument dump to this file as JSON lines, plus a Prometheus text-format sibling (<path>.prom)")
+	baseline = flag.String("baseline", "",
+		"write the run manifest (config, seed, code version, instrument dump) to this JSON file; diffable against BENCH_baseline.json")
 )
 
 // figure is the common surface of the typed per-figure experiments.
@@ -41,6 +45,9 @@ func main() {
 	flag.Parse()
 	start := time.Now()
 	scale := dcp.Scale{Rounds: *rounds, Warmup: *warmup, Seed: *seed}
+	if *telOut != "" || *baseline != "" {
+		scale.Telemetry = dcp.NewRegistry()
+	}
 	fmt.Println("DCTCP+ reproduction report")
 	fmt.Printf("rounds=%d warmup=%d seed=%d\n", *rounds, *warmup, *seed)
 
@@ -101,7 +108,57 @@ func main() {
 	}
 
 	ablations(scale)
+	if err := writeTelemetry(scale, time.Since(start)); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
 	fmt.Printf("\nreport completed in %v\n", time.Since(start).Round(time.Second))
+}
+
+// writeTelemetry dumps the shared registry to the -telemetry and -baseline
+// outputs.
+func writeTelemetry(scale dcp.Scale, wall time.Duration) error {
+	if scale.Telemetry == nil {
+		return nil
+	}
+	snap := scale.Telemetry.Snapshot()
+	if *telOut != "" {
+		f, err := os.Create(*telOut)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteJSONLines(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		pf, err := os.Create(*telOut + ".prom")
+		if err != nil {
+			return err
+		}
+		if err := snap.WritePrometheus(pf); err != nil {
+			pf.Close()
+			return err
+		}
+		if err := pf.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\ntelemetry: %d instruments -> %s (and %s.prom)\n",
+			len(snap.Instruments), *telOut, *telOut)
+	}
+	if *baseline != "" {
+		m := dcp.NewManifest("report", *seed)
+		m.SetConfig("rounds", *rounds)
+		m.SetConfig("warmup", *warmup)
+		m.Finish(scale.Telemetry, wall)
+		if err := dcp.WriteManifestFile(*baseline, m); err != nil {
+			return err
+		}
+		fmt.Printf("baseline manifest -> %s\n", *baseline)
+	}
+	return nil
 }
 
 func withScale[F interface{ figure }](f F, sc dcp.Scale) F {
@@ -138,6 +195,7 @@ func ablations(sc dcp.Scale) {
 		o.Rounds = sc.Rounds
 		o.WarmupRounds = sc.Warmup
 		o.Testbed.Seed = sc.Seed
+		o.Telemetry = sc.Telemetry
 		return o
 	}
 	for _, unit := range []dcp.Duration{100 * dcp.Microsecond, 400 * dcp.Microsecond,

@@ -46,6 +46,7 @@ import (
 	"dctcpplus/internal/exp"
 	"dctcpplus/internal/sim"
 	"dctcpplus/internal/stats"
+	"dctcpplus/internal/telemetry"
 	"dctcpplus/internal/workload"
 )
 
@@ -204,6 +205,46 @@ func DCTCPPlusFactory(rtoMin Duration, seedBase uint64, cfg EnhancementConfig) F
 // JainIndex computes Jain's fairness index over per-flow allocations
 // (1 = perfectly equal shares, 1/n = one flow holds everything).
 func JainIndex(x []float64) float64 { return stats.JainIndex(x) }
+
+// Observability: set IncastOptions.Telemetry (or Scale.Telemetry for the
+// figure specs) to a Registry and every hot layer of the run — switch
+// ports, senders, congestion control, workload — records its events there.
+// Snapshot the registry after the run and export it as JSON lines,
+// Prometheus text format, or a human table; see README's "Observability"
+// section.
+type (
+	// Registry collects named, label-keyed instruments. Instruments are
+	// atomic, so one registry serves parallel sweeps; a nil *Registry is a
+	// valid no-op sink.
+	Registry = telemetry.Registry
+	// MetricLabel is one key=value pair of an instrument's identity.
+	MetricLabel = telemetry.Label
+	// MetricsSnapshot is a point-in-time dump of a registry, with the
+	// exporter methods (WriteJSONLines, WritePrometheus, WriteTable).
+	MetricsSnapshot = telemetry.Snapshot
+	// Manifest is the machine-readable record of one run (config, seed,
+	// code version, wall/sim time, instrument dump).
+	Manifest = telemetry.Manifest
+)
+
+// NewRegistry returns an empty telemetry registry.
+func NewRegistry() *Registry { return telemetry.NewRegistry() }
+
+// NewManifest starts a run manifest, capturing wall clock, git state and
+// toolchain version.
+func NewManifest(name string, seed uint64) *Manifest { return telemetry.NewManifest(name, seed) }
+
+// ReadManifestFile reads a manifest written by WriteManifestFile.
+func ReadManifestFile(path string) (*Manifest, error) { return telemetry.ReadManifestFile(path) }
+
+// WriteManifestFile atomically writes a manifest to path.
+func WriteManifestFile(path string, m *Manifest) error { return telemetry.WriteManifestFile(path, m) }
+
+// DiffManifests summarizes the per-instrument deltas between two run
+// manifests (counter values and histogram counts), one human-readable line
+// per changed instrument. Use it to compare a fresh -baseline run against
+// the committed BENCH_baseline.json.
+func DiffManifests(base, cur *Manifest) []string { return telemetry.DiffSummaries(base, cur) }
 
 // Typed per-figure experiments: construct the spec (NewFigureN), adjust
 // fields, Run, then Render the same rows/series the paper reports.

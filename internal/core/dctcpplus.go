@@ -41,6 +41,7 @@ import (
 	"dctcpplus/internal/dctcp"
 	"dctcpplus/internal/sim"
 	"dctcpplus/internal/tcp"
+	"dctcpplus/internal/telemetry"
 )
 
 // State is a DCTCP+ state-machine state (Figure 4).
@@ -158,6 +159,14 @@ type Enhancer struct {
 	lastDecay sim.Time
 	stateFrom sim.Time // when the current state was entered
 	stats     Stats
+
+	// Telemetry instruments; nil (no-op) unless AttachTelemetry was called.
+	mEnterTimeInc  *telemetry.Counter
+	mIncSteps      *telemetry.Counter
+	mDecSteps      *telemetry.Counter
+	mReturnsNormal *telemetry.Counter
+	mSlowTime      *telemetry.Histogram
+	mOccupancy     [3]*telemetry.Counter // ns per Figure-4 state
 }
 
 // Enhance wraps inner with the enhancement mechanism. Use New for DCTCP+
@@ -204,9 +213,48 @@ func (e *Enhancer) Occupancy(now sim.Time) [3]sim.Duration {
 // previous state.
 func (e *Enhancer) setState(s *tcp.Sender, next State) {
 	now := s.Now()
-	e.stats.Occupancy[e.state] += now.Sub(e.stateFrom)
+	interval := now.Sub(e.stateFrom)
+	e.stats.Occupancy[e.state] += interval
+	e.mOccupancy[e.state].Add(int64(interval))
 	e.stateFrom = now
 	e.state = next
+}
+
+// AttachTelemetry registers the state machine's instruments on reg under
+// the given labels: transition and AIMD-step counters, a slow_time
+// histogram (observed in nanoseconds after every adjustment), and one
+// occupancy counter (ns) per Figure-4 state. The inner congestion-control
+// module is attached too when it supports telemetry. With a nil registry
+// the instruments stay nil and every update is a no-op.
+func (e *Enhancer) AttachTelemetry(reg *telemetry.Registry, labels ...telemetry.Label) {
+	e.mEnterTimeInc = reg.Counter("core_enter_timeinc_total", labels...)
+	e.mIncSteps = reg.Counter("core_slow_time_inc_steps_total", labels...)
+	e.mDecSteps = reg.Counter("core_slow_time_dec_steps_total", labels...)
+	e.mReturnsNormal = reg.Counter("core_returns_normal_total", labels...)
+	e.mSlowTime = reg.Histogram("core_slow_time_ns", labels...)
+	for st := StateNormal; st <= StateTimeDes; st++ {
+		lbls := append(append([]telemetry.Label(nil), labels...),
+			telemetry.L("state", st.String()))
+		e.mOccupancy[st] = reg.Counter("core_state_occupancy_ns", lbls...)
+	}
+	if a, ok := e.inner.(telemetry.Attacher); ok {
+		a.AttachTelemetry(reg, labels...)
+	}
+}
+
+// FlushTelemetry folds the currently open state-occupancy interval into
+// both the stats and the occupancy counter, restarting the interval at now.
+// Runners call it once at end-of-run so the dump accounts for every
+// simulated nanosecond; Occupancy() remains consistent because the open
+// interval is re-anchored, not double-counted.
+func (e *Enhancer) FlushTelemetry(now sim.Time) {
+	interval := now.Sub(e.stateFrom)
+	if interval <= 0 {
+		return
+	}
+	e.stats.Occupancy[e.state] += interval
+	e.mOccupancy[e.state].Add(int64(interval))
+	e.stateFrom = now
 }
 
 // ConfigUsed returns the enhancement configuration.
@@ -293,6 +341,8 @@ func (e *Enhancer) divide(s *tcp.Sender) bool {
 	e.lastDecay = now
 	e.slowTime = sim.Duration(float64(e.slowTime) / e.cfg.DivisorFactor)
 	e.stats.DecSteps++
+	e.mDecSteps.Add(1)
+	e.mSlowTime.Observe(int64(e.slowTime))
 	return true
 }
 
@@ -300,6 +350,8 @@ func (e *Enhancer) divide(s *tcp.Sender) bool {
 func (e *Enhancer) increase(s *tcp.Sender) {
 	e.slowTime += e.backoffStep(s)
 	e.stats.IncSteps++
+	e.mIncSteps.Add(1)
+	e.mSlowTime.Observe(int64(e.slowTime))
 	if e.slowTime > e.stats.MaxSlowTime {
 		e.stats.MaxSlowTime = e.slowTime
 	}
@@ -328,6 +380,7 @@ func (e *Enhancer) evolve(s *tcp.Sender, ece, retrans bool) {
 		if congested && atFloor {
 			e.setState(s, StateTimeInc)
 			e.stats.EnterTimeInc++
+			e.mEnterTimeInc.Add(1)
 			e.slowTime = 0
 			e.increase(s)
 		}
@@ -343,6 +396,7 @@ func (e *Enhancer) evolve(s *tcp.Sender, ece, retrans bool) {
 		case congested:
 			e.setState(s, StateTimeInc)
 			e.stats.EnterTimeInc++
+			e.mEnterTimeInc.Add(1)
 			e.increase(s)
 		case e.slowTime > e.cfg.ThresholdT:
 			e.divide(s)
@@ -350,6 +404,7 @@ func (e *Enhancer) evolve(s *tcp.Sender, ece, retrans bool) {
 			e.setState(s, StateNormal)
 			e.slowTime = 0
 			e.stats.ReturnsNormal++
+			e.mReturnsNormal.Add(1)
 		}
 	}
 }

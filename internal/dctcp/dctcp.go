@@ -14,6 +14,7 @@ package dctcp
 import (
 	"dctcpplus/internal/sim"
 	"dctcpplus/internal/tcp"
+	"dctcpplus/internal/telemetry"
 )
 
 // DefaultGain is the paper-recommended EWMA gain g = 1/16.
@@ -28,6 +29,11 @@ type DCTCP struct {
 	ackedBytes  int64
 	markedBytes int64
 	windowEnd   int64 // snd_nxt at the start of the current observation window
+
+	// Telemetry instruments; nil (no-op) unless AttachTelemetry was called.
+	mAlphaUpdates *telemetry.Counter
+	mWindowCuts   *telemetry.Counter
+	mAlpha        *telemetry.Gauge
 }
 
 // New returns a DCTCP module with gain g (use DefaultGain). Alpha starts at
@@ -49,6 +55,16 @@ func (d *DCTCP) Alpha() float64 { return d.alpha }
 // Gain returns the EWMA gain g.
 func (d *DCTCP) Gain() float64 { return d.g }
 
+// AttachTelemetry registers the estimator's instruments on reg under the
+// given labels: counters for per-window alpha updates and ECN-driven window
+// cuts, plus a gauge tracking the latest alpha. With a nil registry the
+// instruments stay nil and every update is a no-op.
+func (d *DCTCP) AttachTelemetry(reg *telemetry.Registry, labels ...telemetry.Label) {
+	d.mAlphaUpdates = reg.Counter("dctcp_alpha_updates_total", labels...)
+	d.mWindowCuts = reg.Counter("dctcp_window_cuts_total", labels...)
+	d.mAlpha = reg.Gauge("dctcp_alpha", labels...)
+}
+
 // Init starts the first observation window.
 func (d *DCTCP) Init(s *tcp.Sender) { d.windowEnd = s.SndNxt() }
 
@@ -65,12 +81,15 @@ func (d *DCTCP) OnAck(s *tcp.Sender, acked int64, ece bool) {
 		d.alpha = (1-d.g)*d.alpha + d.g*f
 		d.ackedBytes, d.markedBytes = 0, 0
 		d.windowEnd = s.SndNxt()
+		d.mAlphaUpdates.Add(1)
+		d.mAlpha.Set(d.alpha)
 	}
 }
 
 // SsthreshAfterECN scales the window by (1 - alpha/2): a small alpha —
 // mild congestion — trims gently; alpha near 1 behaves like Reno.
 func (d *DCTCP) SsthreshAfterECN(s *tcp.Sender) float64 {
+	d.mWindowCuts.Add(1)
 	return s.CwndMSS() * (1 - d.alpha/2)
 }
 

@@ -7,6 +7,7 @@ import (
 	"dctcpplus/internal/packet"
 	"dctcpplus/internal/sim"
 	"dctcpplus/internal/stats"
+	"dctcpplus/internal/tcp"
 	"dctcpplus/internal/trace"
 	"dctcpplus/internal/workload"
 )
@@ -78,11 +79,22 @@ func RunBackgroundIncast(o BackgroundIncastOptions) BackgroundIncastResult {
 		factory = oi.Protocol.Factory(oi.RTOMin, oi.Testbed.Seed^0xbac)
 	}
 	var longs []*workload.LongFlow
+	var longConns []*tcp.Conn
 	for i := 0; i < o.BackgroundFlows; i++ {
 		cfg, cc := factory(1_000_000 + i)
 		lf := workload.NewLongFlow(sched, tt.Workers[i], tt.Aggregator,
 			packet.FlowID(900_000+i), cfg, cc, o.ChunkBytes)
 		longs = append(longs, lf)
+		longConns = append(longConns, lf.Conn())
+	}
+
+	labels := attachRunTelemetry(oi.Telemetry, tt, in.Conns(), oi.Protocol, oi.Flows)
+	in.AttachTelemetry(oi.Telemetry, labels...)
+	// Long flows report under their own role label so their transport events
+	// do not blend into the incast flows' counters. Attachment precedes
+	// Start, which pumps the first chunk synchronously.
+	attachConnTelemetry(oi.Telemetry, longConns, withLabel(labels, "role", "background"))
+	for _, lf := range longs {
 		lf.Start()
 	}
 
@@ -98,6 +110,7 @@ func RunBackgroundIncast(o BackgroundIncastOptions) BackgroundIncastResult {
 	for _, lf := range longs {
 		lf.Stop()
 	}
+	finishRunTelemetry(oi.Telemetry, sched.Now(), append(in.Conns(), longConns...))
 
 	res := BackgroundIncastResult{}
 	res.Protocol = oi.Protocol

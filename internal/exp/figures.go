@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"dctcpplus/internal/sim"
+	"dctcpplus/internal/telemetry"
 )
 
 // This file packages each of the paper's evaluation artifacts as a typed,
@@ -17,6 +18,10 @@ type Scale struct {
 	Rounds int
 	Warmup int
 	Seed   uint64
+
+	// Telemetry, when non-nil, is threaded into every run of the figure;
+	// atomic instruments make one registry safe across the parallel sweeps.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultScale balances statistical stability against runtime; the paper's
@@ -27,6 +32,7 @@ func (sc Scale) apply(o *IncastOptions) {
 	o.Rounds = sc.Rounds
 	o.WarmupRounds = sc.Warmup
 	o.Testbed.Seed = sc.Seed
+	o.Telemetry = sc.Telemetry
 }
 
 // Figure1 is the basic incast goodput comparison (DCTCP vs TCP).
@@ -331,6 +337,7 @@ func (f *Figure14) Run() {
 	o.Rounds = f.Rounds
 	o.WarmupRounds = 1
 	o.Testbed.Seed = f.Scale.Seed
+	o.Telemetry = f.Scale.Telemetry
 	o.KeepRounds = true
 	o.QueueSampleEvery = 100 * sim.Microsecond
 	f.Result = RunIncast(o)

@@ -7,6 +7,7 @@ import (
 	"dctcpplus/internal/netsim"
 	"dctcpplus/internal/sim"
 	"dctcpplus/internal/stats"
+	"dctcpplus/internal/telemetry"
 	"dctcpplus/internal/trace"
 	"dctcpplus/internal/workload"
 )
@@ -98,6 +99,13 @@ type IncastOptions struct {
 	// KeepRounds retains the per-round series (including warmup) in the
 	// result, for convergence analysis (§VII / Fig. 14).
 	KeepRounds bool
+
+	// Telemetry, when non-nil, receives instrument updates from every hot
+	// layer of the run (ports, senders, congestion control, workload) under
+	// the {proto, flows} label set. The registry is safe to share across a
+	// sweep — including SweepIncastParallel — because instruments are
+	// atomic.
+	Telemetry *telemetry.Registry
 }
 
 // RoundPoint is one round of an incast run, retained when KeepRounds is
@@ -222,6 +230,9 @@ func RunIncast(o IncastOptions) IncastResult {
 		Seed:          o.Testbed.Seed,
 	})
 
+	labels := attachRunTelemetry(o.Telemetry, tt, in.Conns(), o.Protocol, o.Flows)
+	in.AttachTelemetry(o.Telemetry, labels...)
+
 	var probes []*trace.CwndProbe
 	if o.CollectCwnd {
 		for _, c := range in.Conns() {
@@ -239,6 +250,7 @@ func RunIncast(o IncastOptions) IncastResult {
 	in.OnFinished = sched.Halt
 	in.Start()
 	sched.RunUntil(sim.Time(o.MaxSimTime))
+	finishRunTelemetry(o.Telemetry, sched.Now(), in.Conns())
 
 	res := IncastResult{
 		Protocol: o.Protocol,

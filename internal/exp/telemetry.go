@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"strconv"
+
+	"dctcpplus/internal/netsim"
+	"dctcpplus/internal/sim"
+	"dctcpplus/internal/tcp"
+	"dctcpplus/internal/telemetry"
+)
+
+// This file wires a telemetry.Registry through every hot layer of an
+// experiment run: switch ports, senders, congestion-control modules and the
+// workload. All attachments share the {proto, flows} base label set, so one
+// registry accumulates an aggregated view per experiment point; a sweep
+// reusing the registry keeps the points apart through the flows label.
+
+// pointLabels returns the base label set identifying one experiment point.
+func pointLabels(proto Protocol, flows int) []telemetry.Label {
+	return []telemetry.Label{
+		telemetry.L("proto", proto.String()),
+		telemetry.L("flows", strconv.Itoa(flows)),
+	}
+}
+
+// withLabel copies base and appends one extra pair (Registry lookups sort
+// labels, so order is cosmetic).
+func withLabel(base []telemetry.Label, key, value string) []telemetry.Label {
+	return append(append([]telemetry.Label(nil), base...), telemetry.L(key, value))
+}
+
+// attachRunTelemetry attaches every port of the topology (the bottleneck
+// port separated out by the port label) and every connection's sender and
+// congestion-control module. It returns the base label set for further
+// attachments (workloads). A nil registry attaches nothing: the layers'
+// instruments stay nil no-ops.
+func attachRunTelemetry(reg *telemetry.Registry, tt *netsim.TwoTier, conns []*tcp.Conn, proto Protocol, flows int) []telemetry.Label {
+	base := pointLabels(proto, flows)
+	if reg == nil {
+		return base
+	}
+	switches := append([]*netsim.Switch{tt.Root}, tt.Leaves...)
+	for _, sw := range switches {
+		for _, p := range sw.Ports() {
+			role := "other"
+			if p == tt.BottleneckPort {
+				role = "bottleneck"
+			}
+			p.AttachTelemetry(reg, withLabel(base, "port", role)...)
+		}
+	}
+	attachConnTelemetry(reg, conns, base)
+	return base
+}
+
+// attachConnTelemetry attaches the senders (and their congestion-control
+// modules, when they support telemetry) of the given connections.
+func attachConnTelemetry(reg *telemetry.Registry, conns []*tcp.Conn, base []telemetry.Label) {
+	if reg == nil {
+		return
+	}
+	for _, c := range conns {
+		c.Sender.AttachTelemetry(reg, base...)
+		if a, ok := c.Sender.CC().(telemetry.Attacher); ok {
+			a.AttachTelemetry(reg, base...)
+		}
+	}
+}
+
+// finishRunTelemetry closes a run: it advances the registry's virtual-time
+// high-water mark to the scheduler's final instant and flushes any
+// congestion-control state that accumulates over open intervals (the DCTCP+
+// state-occupancy accounting).
+func finishRunTelemetry(reg *telemetry.Registry, now sim.Time, conns []*tcp.Conn) {
+	if reg == nil {
+		return
+	}
+	reg.AdvanceSimTime(now)
+	for _, c := range conns {
+		if f, ok := c.Sender.CC().(telemetry.Flusher); ok {
+			f.FlushTelemetry(now)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package netsim
 import (
 	"dctcpplus/internal/packet"
 	"dctcpplus/internal/sim"
+	"dctcpplus/internal/telemetry"
 )
 
 // PortStats counts the traffic handled by one output port.
@@ -106,6 +107,12 @@ type Port struct {
 
 	stats PortStats
 
+	// Telemetry instruments; nil (no-op) unless AttachTelemetry was called.
+	mEnqueued   *telemetry.Counter
+	mDropped    *telemetry.Counter
+	mMarked     *telemetry.Counter
+	mQueueDepth *telemetry.Histogram
+
 	// OnDrop, if set, is invoked for every tail-dropped packet (used by
 	// tests and loss accounting).
 	OnDrop func(pkt *packet.Packet)
@@ -184,6 +191,17 @@ func (p *Port) shouldMark(qBytes int) bool {
 	}
 }
 
+// AttachTelemetry registers the port's instruments on reg under the given
+// labels: enqueue/drop/CE-mark counters and a queue-depth histogram
+// observed at every enqueue. With a nil registry the instruments stay nil
+// and every update is a no-op.
+func (p *Port) AttachTelemetry(reg *telemetry.Registry, labels ...telemetry.Label) {
+	p.mEnqueued = reg.Counter("netsim_port_enqueued_pkts_total", labels...)
+	p.mDropped = reg.Counter("netsim_port_dropped_pkts_total", labels...)
+	p.mMarked = reg.Counter("netsim_port_ce_marked_pkts_total", labels...)
+	p.mQueueDepth = reg.Histogram("netsim_port_queue_depth_bytes", labels...)
+}
+
 // QueueBytes returns the instantaneous queue occupancy in bytes.
 func (p *Port) QueueBytes() int { return p.qBytes }
 
@@ -208,6 +226,7 @@ func (p *Port) Enqueue(pkt *packet.Packet) {
 	if p.qBytes+size > p.cfg.BufferBytes {
 		p.stats.DroppedPkts++
 		p.stats.DroppedBytes += int64(size)
+		p.mDropped.Add(1)
 		if p.OnDrop != nil {
 			p.OnDrop(pkt)
 		}
@@ -225,11 +244,14 @@ func (p *Port) Enqueue(pkt *packet.Packet) {
 	if pkt.ECN == packet.ECT && p.shouldMark(p.qBytes) {
 		pkt.ECN = packet.CE
 		p.stats.MarkedPkts++
+		p.mMarked.Add(1)
 	}
 	p.queue = append(p.queue, pkt)
 	p.qBytes += size
 	p.stats.EnqueuedPkts++
 	p.stats.EnqueuedBytes += int64(size)
+	p.mEnqueued.Add(1)
+	p.mQueueDepth.Observe(int64(p.qBytes))
 	if p.qBytes > p.stats.MaxQueueBytes {
 		p.stats.MaxQueueBytes = p.qBytes
 	}

@@ -24,14 +24,28 @@ type Summary struct {
 	P99   float64
 }
 
+// dropNaN returns a copy of samples with NaN values removed. NaN is not
+// orderable — a single one corrupts sort order and every rank-based
+// statistic downstream — so the constructors discard them at the boundary,
+// guaranteeing NaN-free summaries, quantiles and CDFs.
+func dropNaN(samples []float64) []float64 {
+	out := make([]float64, 0, len(samples))
+	for _, v := range samples {
+		if !math.IsNaN(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // Summarize computes a Summary of the samples. An empty input yields the
-// zero Summary.
+// zero Summary; NaN samples are discarded.
 func Summarize(samples []float64) Summary {
-	n := len(samples)
+	sorted := dropNaN(samples)
+	n := len(sorted)
 	if n == 0 {
 		return Summary{}
 	}
-	sorted := append([]float64(nil), samples...)
 	sort.Float64s(sorted)
 	// Welford's algorithm: stable against both catastrophic cancellation
 	// and overflow of a naive sum-of-squares.
@@ -80,9 +94,10 @@ func quantileSorted(sorted []float64, q float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
-// Quantile returns the q-quantile of unsorted samples.
+// Quantile returns the q-quantile of unsorted samples. NaN samples are
+// discarded.
 func Quantile(samples []float64, q float64) float64 {
-	sorted := append([]float64(nil), samples...)
+	sorted := dropNaN(samples)
 	sort.Float64s(sorted)
 	return quantileSorted(sorted, q)
 }
@@ -92,9 +107,10 @@ type CDF struct {
 	sorted []float64
 }
 
-// NewCDF builds a CDF from samples (copied and sorted).
+// NewCDF builds a CDF from samples (copied and sorted). NaN samples are
+// discarded.
 func NewCDF(samples []float64) *CDF {
-	s := append([]float64(nil), samples...)
+	s := dropNaN(samples)
 	sort.Float64s(s)
 	return &CDF{sorted: s}
 }

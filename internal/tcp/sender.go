@@ -6,6 +6,7 @@ import (
 	"dctcpplus/internal/netsim"
 	"dctcpplus/internal/packet"
 	"dctcpplus/internal/sim"
+	"dctcpplus/internal/telemetry"
 )
 
 // SenderState is the loss-recovery state of the sender, mirroring the
@@ -114,6 +115,15 @@ type Sender struct {
 
 	stats SenderStats
 
+	// Telemetry instruments; nil (no-op) unless AttachTelemetry was called.
+	// Concurrent flows of one experiment point typically share these (same
+	// registry identity), aggregating transport events across the workload.
+	mRetrans  *telemetry.Counter
+	mTimeouts *telemetry.Counter
+	mFLossTO  *telemetry.Counter
+	mLAckTO   *telemetry.Counter
+	mCwnd     *telemetry.Histogram
+
 	// OnComplete fires when all bytes handed to Send so far are
 	// acknowledged; total is the acknowledged byte count.
 	OnComplete func(total int64)
@@ -153,6 +163,9 @@ func NewSender(cfg Config, cc CongestionControl, host *netsim.Host, peer packet.
 
 // Accessors used by congestion-control modules and experiments.
 
+// CC returns the congestion-control module driving this sender.
+func (s *Sender) CC() CongestionControl { return s.cc }
+
 // CwndMSS returns the congestion window in MSS units.
 func (s *Sender) CwndMSS() float64 { return s.cwnd }
 
@@ -188,6 +201,18 @@ func (s *Sender) Config() Config { return s.cfg }
 
 // Stats returns a snapshot of the sender counters.
 func (s *Sender) Stats() SenderStats { return s.stats }
+
+// AttachTelemetry registers the sender's instruments on reg under the given
+// labels: retransmission and RTO-taxonomy counters (total, FLoss-TO,
+// LAck-TO) and a per-ACK congestion-window histogram in MSS units. With a
+// nil registry the instruments stay nil and every update is a no-op.
+func (s *Sender) AttachTelemetry(reg *telemetry.Registry, labels ...telemetry.Label) {
+	s.mRetrans = reg.Counter("tcp_retransmit_pkts_total", labels...)
+	s.mTimeouts = reg.Counter("tcp_rto_total", labels...)
+	s.mFLossTO = reg.Counter("tcp_rto_floss_total", labels...)
+	s.mLAckTO = reg.Counter("tcp_rto_lack_total", labels...)
+	s.mCwnd = reg.Histogram("tcp_cwnd_mss", labels...)
+}
 
 // SRTT returns the smoothed RTT estimate (0 before the first sample).
 func (s *Sender) SRTT() sim.Duration { return s.rtt.SRTT() }
@@ -367,6 +392,7 @@ func (s *Sender) transmit(seq int64, payload int, rtx bool) {
 	if rtx {
 		s.stats.RetransPkts++
 		s.stats.RetransBytes += int64(payload)
+		s.mRetrans.Add(1)
 	}
 	// Table I instrumentation: a transmission attempted while the window
 	// is pinned at its floor and congestion feedback is still arriving.
@@ -499,6 +525,10 @@ func (s *Sender) Deliver(pkt *packet.Packet) {
 
 	s.pump()
 
+	// Sample the window on every processed ACK — the same cadence as the
+	// paper's tcp_probe captures behind Fig. 2/Fig. 9.
+	s.mCwnd.Observe(int64(s.cwnd + 0.5))
+
 	if s.OnAckProbe != nil {
 		s.OnAckProbe(s, ece)
 	}
@@ -573,10 +603,13 @@ func (s *Sender) onRTO() {
 		kind = FLossTO
 	}
 	s.stats.Timeouts++
+	s.mTimeouts.Add(1)
 	if kind == FLossTO {
 		s.stats.FLossTimeouts++
+		s.mFLossTO.Add(1)
 	} else {
 		s.stats.LAckTimeouts++
+		s.mLAckTO.Add(1)
 	}
 	if s.OnTimeoutEvent != nil {
 		s.OnTimeoutEvent(kind)

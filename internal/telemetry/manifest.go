@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Manifest is the machine-readable record of one experiment run: what was
+// run (name, configuration, seed, code version), what it cost (wall time,
+// simulated virtual time), and what it measured (the full instrument
+// dump). Manifests are written next to experiment output so any result is
+// reproducible from its own metadata and diffable against the manifests of
+// earlier PRs (see BENCH_baseline.json at the repo root).
+type Manifest struct {
+	// Name identifies the run (e.g. "report", "incast").
+	Name string `json:"name"`
+	// CreatedAt is the wall-clock creation time, RFC 3339.
+	CreatedAt string `json:"created_at"`
+	// GitDescribe is `git describe --always --dirty` of the working tree,
+	// or "unknown" outside a git checkout.
+	GitDescribe string `json:"git_describe"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Seed is the experiment seed.
+	Seed uint64 `json:"seed"`
+	// Config holds the run's flat configuration (flag values, scale
+	// settings) as deterministic string pairs.
+	Config map[string]string `json:"config,omitempty"`
+
+	// WallNs is the real time the run took, in nanoseconds.
+	WallNs int64 `json:"wall_ns"`
+	// SimTimeNs is the virtual time covered, from the registry stamp.
+	SimTimeNs int64 `json:"sim_time_ns"`
+
+	// Metrics is the full instrument dump.
+	Metrics []InstrumentSnapshot `json:"metrics,omitempty"`
+}
+
+// NewManifest starts a manifest for a named run, capturing the wall clock,
+// git state and toolchain version.
+func NewManifest(name string, seed uint64) *Manifest {
+	return &Manifest{
+		Name:        name,
+		CreatedAt:   time.Now().UTC().Format(time.RFC3339),
+		GitDescribe: GitDescribe(),
+		GoVersion:   runtime.Version(),
+		Seed:        seed,
+		Config:      make(map[string]string),
+	}
+}
+
+// SetConfig records one configuration pair.
+func (m *Manifest) SetConfig(key string, value any) {
+	if m.Config == nil {
+		m.Config = make(map[string]string)
+	}
+	m.Config[key] = fmt.Sprint(value)
+}
+
+// Finish stamps the manifest with the run's wall time and the registry's
+// snapshot (instrument dump plus virtual-time high-water mark). A nil
+// registry leaves the metrics empty.
+func (m *Manifest) Finish(reg *Registry, wall time.Duration) {
+	m.WallNs = int64(wall)
+	snap := reg.Snapshot()
+	m.SimTimeNs = snap.SimTimeNs
+	m.Metrics = snap.Instruments
+}
+
+// Metric returns the recorded instrument with the given name and labels,
+// or false if the manifest does not contain it.
+func (m *Manifest) Metric(name string, labels ...Label) (InstrumentSnapshot, bool) {
+	return Snapshot{Instruments: m.Metrics}.Find(name, labels...)
+}
+
+// EncodeJSON writes the manifest as indented JSON. Map keys are emitted in
+// sorted order by encoding/json, so equivalent manifests are byte-stable.
+func (m *Manifest) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// DecodeManifest reads a manifest previously written by EncodeJSON.
+func DecodeManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("telemetry: decoding manifest: %w", err)
+	}
+	return &m, nil
+}
+
+// WriteManifestFile writes the manifest to path (atomically via a sibling
+// temp file, so a crash never leaves a truncated baseline).
+func WriteManifestFile(path string, m *Manifest) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := m.EncodeJSON(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadManifestFile reads a manifest from path.
+func ReadManifestFile(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeManifest(f)
+}
+
+// GitDescribe returns `git describe --always --dirty` for the current
+// working tree, or "unknown" when git or the repository is unavailable.
+func GitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// DiffSummaries compares two manifests' metrics by instrument identity and
+// returns one line per changed instrument — the perf-trajectory diff
+// future PRs run against BENCH_baseline.json. Only counters and histogram
+// counts are compared (gauges are last-write noise).
+func DiffSummaries(base, cur *Manifest) []string {
+	type point struct{ base, cur int64 }
+	acc := make(map[string]*point)
+	keys := make([]string, 0)
+	note := func(list []InstrumentSnapshot, set func(*point, int64)) {
+		for _, is := range list {
+			if is.Kind == KindGauge.String() {
+				continue
+			}
+			k := is.key()
+			p, ok := acc[k]
+			if !ok {
+				p = &point{}
+				acc[k] = p
+				keys = append(keys, k)
+			}
+			set(p, is.Value+is.Count)
+		}
+	}
+	note(base.Metrics, func(p *point, v int64) { p.base = v })
+	note(cur.Metrics, func(p *point, v int64) { p.cur = v })
+	sort.Strings(keys)
+	var out []string
+	for _, k := range keys {
+		p := acc[k]
+		if p.base != p.cur {
+			out = append(out, fmt.Sprintf("%s: %d -> %d", k, p.base, p.cur))
+		}
+	}
+	return out
+}

@@ -1,0 +1,535 @@
+// Package telemetry is the simulation-wide metrics substrate: a Registry
+// of named, label-keyed instruments (Counter, Gauge, Histogram) that every
+// hot layer of the stack — switch ports, the TCP engine, the DCTCP alpha
+// estimator, the DCTCP+ state machine, and the workload drivers — reports
+// into, plus pluggable sinks (JSON lines, Prometheus text format, a human
+// table) and a per-run Manifest for reproducible, diffable experiments.
+//
+// Design constraints, in order:
+//
+//  1. Zero cost when off. Every instrument method is nil-safe: a nil
+//     *Counter / *Gauge / *Histogram is a no-op, and a nil *Registry hands
+//     out nil instruments. Layers therefore attach instruments
+//     unconditionally and call them unconditionally; with telemetry
+//     disabled the hot path pays one predictable nil check per event.
+//
+//  2. Allocation-free on the hot path. Counter.Add, Gauge.Set and
+//     Histogram.Observe never allocate: histograms use fixed log2 buckets
+//     (an array indexed by bit length), and all state is updated with
+//     atomics — which also makes one Registry safely shareable across the
+//     parallel experiment sweeps.
+//
+//  3. Stamped with simulation time. Runs record their virtual end time via
+//     Registry.AdvanceSimTime; snapshots carry the high-water mark so a
+//     dump is attributable to a point on the simulation clock, not the
+//     wall clock.
+//
+// Instrument identity is (name, sorted label set). Asking the Registry for
+// the same identity twice returns the same instrument, so concurrent flows
+// of one experiment point naturally aggregate into shared counters while
+// distinct points (labeled e.g. by protocol and flow count) stay separate.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dctcpplus/internal/sim"
+)
+
+// Label is one key=value dimension of an instrument's identity.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind discriminates the instrument types.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing int64 count.
+	KindCounter Kind = iota
+	// KindGauge is a last-write-wins float64 level.
+	KindGauge
+	// KindHistogram is a fixed log2-bucket distribution of int64 samples.
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "?"
+}
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; a nil Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. Nil-safe; negative deltas are ignored
+// (counters are monotone by contract).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil Counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a level that can move both ways (e.g. DCTCP's alpha estimate).
+// The zero value is ready to use; a nil Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value. Nil-safe.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current level (0 for a nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the number of log2 buckets: bucket i holds samples whose
+// bit length is i, i.e. bucket 0 holds v=0 and bucket i>=1 holds
+// v in [2^(i-1), 2^i - 1]. 65 buckets cover the whole non-negative int64
+// range, so Observe never needs a range check beyond clamping negatives.
+const histBuckets = 65
+
+// Histogram is a fixed log2-bucket distribution: allocation-free Observe,
+// power-of-two resolution (sufficient for queue depths, cwnd sizes,
+// slow_time magnitudes and FCTs, which all range over decades). The zero
+// value is ready to use; a nil Histogram is a no-op.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only while count > 0
+	max     atomic.Int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Observe records one sample. Negative samples clamp to zero. Nil-safe and
+// allocation-free.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations (0 for a nil Histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Min returns the smallest observation (0 with no observations).
+func (h *Histogram) Min() int64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return h.min.Load()
+}
+
+// Max returns the largest observation (0 with no observations).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Mean returns the arithmetic mean of the observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile returns an estimate of the q-quantile (0..1) from the log2
+// buckets, interpolating linearly inside the selected bucket. The estimate
+// is exact to within the bucket's power-of-two resolution.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n-1)
+	var seen float64
+	for i := 0; i < histBuckets; i++ {
+		c := float64(h.buckets[i].Load())
+		if c == 0 {
+			continue
+		}
+		if seen+c > rank {
+			lo, hi := bucketBounds(i)
+			frac := (rank - seen + 1) / c
+			if frac > 1 {
+				frac = 1
+			}
+			return float64(lo) + frac*float64(hi-lo)
+		}
+		seen += c
+	}
+	return float64(h.Max())
+}
+
+// bucketBounds returns the [lo, hi] sample range of bucket i.
+func bucketBounds(i int) (lo, hi int64) {
+	if i == 0 {
+		return 0, 0
+	}
+	lo = int64(1) << (i - 1)
+	if i >= 63 {
+		return lo, math.MaxInt64
+	}
+	return lo, int64(1)<<i - 1
+}
+
+// BucketCount is one occupied histogram bucket in a snapshot: Count
+// samples at most UpperBound (bucket ranges are [lower, UpperBound] with
+// power-of-two bounds).
+type BucketCount struct {
+	UpperBound int64 `json:"le"`
+	Count      int64 `json:"count"`
+}
+
+// Registry is the instrument directory for one or more runs. A nil
+// Registry is valid and hands out nil (no-op) instruments, so callers
+// attach telemetry unconditionally. All methods are safe for concurrent
+// use; instrument updates are atomic, so one Registry may be shared across
+// parallel experiment sweeps.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+
+	simTimeNs atomic.Int64 // high-water mark of observed virtual time
+}
+
+type entry struct {
+	name   string
+	labels []Label
+	kind   Kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// instrumentKey builds the canonical identity: name plus sorted labels.
+func instrumentKey(name string, labels []Label) (string, []Label) {
+	if len(labels) == 0 {
+		return name, nil
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String(), sorted
+}
+
+// lookup returns the entry for (name, labels), creating it with mk on
+// first use, and panics on a kind clash — instrument names are a schema,
+// and reusing one with a different type is always a bug.
+func (r *Registry) lookup(name string, kind Kind, labels []Label) *entry {
+	key, sorted := instrumentKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("telemetry: %s registered as %v, requested as %v", key, e.kind, kind))
+		}
+		return e
+	}
+	e := &entry{name: name, labels: sorted, kind: kind}
+	switch kind {
+	case KindCounter:
+		e.counter = &Counter{}
+	case KindGauge:
+		e.gauge = &Gauge{}
+	case KindHistogram:
+		e.hist = newHistogram()
+	}
+	r.entries[key] = e
+	return e
+}
+
+// Counter returns the counter registered under (name, labels), creating it
+// on first use. A nil Registry returns a nil (no-op) Counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindCounter, labels).counter
+}
+
+// Gauge returns the gauge registered under (name, labels). A nil Registry
+// returns a nil (no-op) Gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindGauge, labels).gauge
+}
+
+// Histogram returns the histogram registered under (name, labels). A nil
+// Registry returns a nil (no-op) Histogram.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindHistogram, labels).hist
+}
+
+// AdvanceSimTime raises the registry's virtual-time high-water mark.
+// Experiment runners call it with the scheduler's final time so snapshots
+// are stamped with how much simulation the metrics cover. Nil-safe.
+func (r *Registry) AdvanceSimTime(t sim.Time) {
+	if r == nil {
+		return
+	}
+	for {
+		cur := r.simTimeNs.Load()
+		if int64(t) <= cur || r.simTimeNs.CompareAndSwap(cur, int64(t)) {
+			return
+		}
+	}
+}
+
+// SimTime returns the recorded virtual-time high-water mark.
+func (r *Registry) SimTime() sim.Time {
+	if r == nil {
+		return 0
+	}
+	return sim.Time(r.simTimeNs.Load())
+}
+
+// Len returns the number of registered instruments.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}
+
+// InstrumentSnapshot is the frozen state of one instrument. Counters use
+// Value; gauges use GaugeValue; histograms use Count/Sum/Min/Max/Buckets.
+type InstrumentSnapshot struct {
+	Name   string  `json:"name"`
+	Labels []Label `json:"labels,omitempty"`
+	Kind   string  `json:"kind"`
+
+	Value      int64   `json:"value,omitempty"`
+	GaugeValue float64 `json:"gauge_value,omitempty"`
+
+	Count   int64         `json:"count,omitempty"`
+	Sum     int64         `json:"sum,omitempty"`
+	Min     int64         `json:"min,omitempty"`
+	Max     int64         `json:"max,omitempty"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// key reproduces the registry identity for ordering and diffing.
+func (s InstrumentSnapshot) key() string {
+	k, _ := instrumentKey(s.Name, s.Labels)
+	return k
+}
+
+// Snapshot is the frozen state of a whole registry, stamped with the
+// virtual-time high-water mark.
+type Snapshot struct {
+	SimTimeNs   int64                `json:"sim_time_ns"`
+	Instruments []InstrumentSnapshot `json:"instruments"`
+}
+
+// Snapshot freezes the registry. Instruments appear in deterministic
+// (sorted-key) order so two snapshots of equivalent runs diff cleanly.
+// A nil Registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.entries))
+	keys := make([]string, 0, len(r.entries))
+	for k, e := range r.entries {
+		keys = append(keys, k)
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	sort.Sort(&byKey{keys: keys, entries: entries})
+
+	snap := Snapshot{SimTimeNs: r.simTimeNs.Load()}
+	for _, e := range entries {
+		is := InstrumentSnapshot{
+			Name:   e.name,
+			Labels: e.labels,
+			Kind:   e.kind.String(),
+		}
+		switch e.kind {
+		case KindCounter:
+			is.Value = e.counter.Value()
+		case KindGauge:
+			is.GaugeValue = e.gauge.Value()
+		case KindHistogram:
+			h := e.hist
+			is.Count = h.Count()
+			is.Sum = h.Sum()
+			is.Min = h.Min()
+			is.Max = h.Max()
+			for i := 0; i < histBuckets; i++ {
+				if c := h.buckets[i].Load(); c > 0 {
+					_, hi := bucketBounds(i)
+					is.Buckets = append(is.Buckets, BucketCount{UpperBound: hi, Count: c})
+				}
+			}
+		}
+		snap.Instruments = append(snap.Instruments, is)
+	}
+	return snap
+}
+
+// byKey sorts entries by their registry key, keeping the two slices in
+// lockstep.
+type byKey struct {
+	keys    []string
+	entries []*entry
+}
+
+func (s *byKey) Len() int           { return len(s.keys) }
+func (s *byKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *byKey) Swap(i, j int) {
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+	s.entries[i], s.entries[j] = s.entries[j], s.entries[i]
+}
+
+// Find returns the snapshot of the instrument with the given name and
+// labels, or false if absent. Convenience for tests and acceptance checks.
+func (s Snapshot) Find(name string, labels ...Label) (InstrumentSnapshot, bool) {
+	key, _ := instrumentKey(name, labels)
+	for _, is := range s.Instruments {
+		if is.key() == key {
+			return is, true
+		}
+	}
+	return InstrumentSnapshot{}, false
+}
+
+// Total sums Value (counters) and Count (histograms) across every
+// instrument whose name matches, regardless of labels — the "how many CE
+// marks happened in this run, anywhere" query.
+func (s Snapshot) Total(name string) int64 {
+	var t int64
+	for _, is := range s.Instruments {
+		if is.Name != name {
+			continue
+		}
+		t += is.Value + is.Count
+	}
+	return t
+}
+
+// Attacher is implemented by components that can wire themselves onto a
+// registry (congestion-control modules, workload drivers). Experiment
+// runners discover it by type assertion so layers stay decoupled.
+type Attacher interface {
+	AttachTelemetry(reg *Registry, labels ...Label)
+}
+
+// Flusher is implemented by components holding open telemetry intervals
+// (e.g. DCTCP+'s state-occupancy clock). Runners call it once at the end
+// of a run with the final virtual time.
+type Flusher interface {
+	FlushTelemetry(now sim.Time)
+}

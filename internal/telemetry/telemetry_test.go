@@ -1,0 +1,448 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dctcpplus/internal/sim"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.Inc()
+	c.Add(0)
+	c.Add(-5)
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	var nilC *Counter
+	nilC.Add(1)
+	nilC.Inc()
+	if got := nilC.Value(); got != 0 {
+		t.Fatalf("nil counter = %d, want 0", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(0.0625)
+	if got := g.Value(); got != 0.0625 {
+		t.Fatalf("gauge = %v, want 0.0625", got)
+	}
+	g.Set(-1.5)
+	if got := g.Value(); got != -1.5 {
+		t.Fatalf("gauge = %v, want -1.5", got)
+	}
+	var nilG *Gauge
+	nilG.Set(3)
+	if got := nilG.Value(); got != 0 {
+		t.Fatalf("nil gauge = %v, want 0", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := newHistogram()
+	for _, v := range []int64{0, 1, 2, 3, 100, 1 << 20, -7} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 7 {
+		t.Fatalf("count = %d, want 7", got)
+	}
+	// -7 clamps to 0.
+	if got := h.Sum(); got != 0+1+2+3+100+(1<<20)+0 {
+		t.Fatalf("sum = %d", got)
+	}
+	if got := h.Min(); got != 0 {
+		t.Fatalf("min = %d, want 0", got)
+	}
+	if got := h.Max(); got != 1<<20 {
+		t.Fatalf("max = %d, want %d", got, 1<<20)
+	}
+	wantMean := float64(106+1<<20) / 7
+	if got := h.Mean(); math.Abs(got-wantMean) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", got, wantMean)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Fatalf("q0 = %v, want 0", q)
+	}
+	if q := h.Quantile(1); q < 100 {
+		t.Fatalf("q1 = %v, want near max", q)
+	}
+	if q := h.Quantile(0.5); q < 1 || q > 100 {
+		t.Fatalf("q0.5 = %v, want within sample range", q)
+	}
+
+	var nilH *Histogram
+	nilH.Observe(1)
+	if nilH.Count() != 0 || nilH.Sum() != 0 || nilH.Min() != 0 || nilH.Max() != 0 {
+		t.Fatal("nil histogram must report zeros")
+	}
+	if nilH.Mean() != 0 || nilH.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram stats must be 0")
+	}
+
+	empty := newHistogram()
+	if empty.Min() != 0 || empty.Max() != 0 || empty.Mean() != 0 || empty.Quantile(0.9) != 0 {
+		t.Fatal("empty histogram stats must be 0")
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	cases := []struct {
+		i      int
+		lo, hi int64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{2, 2, 3},
+		{3, 4, 7},
+		{10, 512, 1023},
+		{63, 1 << 62, math.MaxInt64},
+		{64, math.MinInt64, math.MaxInt64}, // lo overflows but hi caps; index 64 only holds MaxInt64 samples
+	}
+	for _, c := range cases[:6] {
+		lo, hi := bucketBounds(c.i)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("bucketBounds(%d) = (%d, %d), want (%d, %d)", c.i, lo, hi, c.lo, c.hi)
+		}
+	}
+	// Every non-negative int64 maps to a valid bucket index.
+	h := newHistogram()
+	h.Observe(math.MaxInt64)
+	if h.Max() != math.MaxInt64 {
+		t.Fatal("MaxInt64 sample lost")
+	}
+}
+
+func TestRegistryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", L("proto", "dctcp+"), L("flows", "20"))
+	b := r.Counter("x_total", L("flows", "20"), L("proto", "dctcp+")) // label order irrelevant
+	if a != b {
+		t.Fatal("same identity must return the same counter")
+	}
+	c := r.Counter("x_total", L("flows", "60"), L("proto", "dctcp+"))
+	if a == c {
+		t.Fatal("distinct labels must return distinct counters")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	if h1, h2 := r.Histogram("h"), r.Histogram("h"); h1 != h2 {
+		t.Fatal("same identity must return the same histogram")
+	}
+	if g1, g2 := r.Gauge("g"), r.Gauge("g"); g1 != g2 {
+		t.Fatal("same identity must return the same gauge")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind clash must panic")
+		}
+	}()
+	r.Gauge("x_total", L("proto", "dctcp+"), L("flows", "20"))
+}
+
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	if r.Counter("c") != nil || r.Gauge("g") != nil || r.Histogram("h") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	r.AdvanceSimTime(5)
+	if r.SimTime() != 0 || r.Len() != 0 {
+		t.Fatal("nil registry must report zeros")
+	}
+	snap := r.Snapshot()
+	if snap.SimTimeNs != 0 || len(snap.Instruments) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestAdvanceSimTime(t *testing.T) {
+	r := NewRegistry()
+	r.AdvanceSimTime(100)
+	r.AdvanceSimTime(50) // high-water mark: no regression
+	if got := r.SimTime(); got != 100 {
+		t.Fatalf("SimTime = %v, want 100", got)
+	}
+	r.AdvanceSimTime(200)
+	if got := r.SimTime(); got != 200 {
+		t.Fatalf("SimTime = %v, want 200", got)
+	}
+}
+
+func buildSnapshot(t *testing.T) Snapshot {
+	t.Helper()
+	r := NewRegistry()
+	r.Counter("netsim_port_ce_marked_pkts_total", L("port", "bottleneck")).Add(42)
+	r.Gauge("dctcp_alpha", L("proto", "dctcp+")).Set(0.25)
+	h := r.Histogram("tcp_cwnd_mss")
+	for _, v := range []int64{1, 1, 2, 4, 8} {
+		h.Observe(v)
+	}
+	r.AdvanceSimTime(sim.Time(1_500_000))
+	return r.Snapshot()
+}
+
+func TestSnapshotFindAndTotal(t *testing.T) {
+	snap := buildSnapshot(t)
+	if len(snap.Instruments) != 3 {
+		t.Fatalf("instruments = %d, want 3", len(snap.Instruments))
+	}
+	is, ok := snap.Find("netsim_port_ce_marked_pkts_total", L("port", "bottleneck"))
+	if !ok || is.Value != 42 {
+		t.Fatalf("Find counter: ok=%v value=%d", ok, is.Value)
+	}
+	if _, ok := snap.Find("netsim_port_ce_marked_pkts_total", L("port", "other")); ok {
+		t.Fatal("Find must miss on wrong labels")
+	}
+	if got := snap.Total("tcp_cwnd_mss"); got != 5 {
+		t.Fatalf("Total(histogram) = %d, want 5", got)
+	}
+	if got := snap.Total("netsim_port_ce_marked_pkts_total"); got != 42 {
+		t.Fatalf("Total(counter) = %d, want 42", got)
+	}
+	// Deterministic sorted order.
+	for i := 1; i < len(snap.Instruments); i++ {
+		if snap.Instruments[i-1].key() > snap.Instruments[i].key() {
+			t.Fatal("snapshot instruments not sorted")
+		}
+	}
+}
+
+func TestWriteJSONLines(t *testing.T) {
+	snap := buildSnapshot(t)
+	var buf bytes.Buffer
+	if err := snap.WriteJSONLines(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+len(snap.Instruments) {
+		t.Fatalf("lines = %d, want %d", len(lines), 1+len(snap.Instruments))
+	}
+	var header struct {
+		SimTimeNs   int64 `json:"sim_time_ns"`
+		Instruments int   `json:"instruments"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &header); err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	if header.SimTimeNs != 1_500_000 || header.Instruments != 3 {
+		t.Fatalf("header = %+v", header)
+	}
+	for _, ln := range lines[1:] {
+		var is InstrumentSnapshot
+		if err := json.Unmarshal([]byte(ln), &is); err != nil {
+			t.Fatalf("instrument line %q: %v", ln, err)
+		}
+		if is.Name == "" || is.Kind == "" {
+			t.Fatalf("instrument line missing name/kind: %q", ln)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	snap := buildSnapshot(t)
+	var buf bytes.Buffer
+	if err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE dctcpplus_sim_time_ns gauge",
+		"dctcpplus_sim_time_ns 1500000",
+		"# TYPE netsim_port_ce_marked_pkts_total counter",
+		`netsim_port_ce_marked_pkts_total{port="bottleneck"} 42`,
+		"# TYPE dctcp_alpha gauge",
+		`dctcp_alpha{proto="dctcp+"} 0.25`,
+		"# TYPE tcp_cwnd_mss histogram",
+		`tcp_cwnd_mss_bucket{le="+Inf"} 5`,
+		"tcp_cwnd_mss_sum 16",
+		"tcp_cwnd_mss_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: the series of _bucket values never
+	// decreases and ends at the count.
+	var last int64 = -1
+	for _, ln := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(ln, "tcp_cwnd_mss_bucket") {
+			continue
+		}
+		var v int64
+		if _, err := fmtSscanLast(ln, &v); err != nil {
+			t.Fatalf("parse %q: %v", ln, err)
+		}
+		if v < last {
+			t.Fatalf("non-cumulative bucket series: %q after %d", ln, last)
+		}
+		last = v
+	}
+	if last != 5 {
+		t.Fatalf("final cumulative bucket = %d, want 5", last)
+	}
+}
+
+// fmtSscanLast parses the final whitespace-separated field of a line.
+func fmtSscanLast(line string, v *int64) (int, error) {
+	fields := strings.Fields(line)
+	return 1, json.Unmarshal([]byte(fields[len(fields)-1]), v)
+}
+
+func TestWriteTable(t *testing.T) {
+	snap := buildSnapshot(t)
+	var buf bytes.Buffer
+	if err := snap.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"instrument", "netsim_port_ce_marked_pkts_total", "port=bottleneck",
+		"dctcp_alpha", "count=5", "mean=3.2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tcp_rto_total", L("proto", "dctcp")).Add(7)
+	r.Histogram("workload_round_fct_ns").Observe(123456)
+	r.AdvanceSimTime(999)
+
+	m := NewManifest("report", 42)
+	m.SetConfig("rounds", 50)
+	m.SetConfig("warmup", 10)
+	m.Finish(r, 3*time.Second)
+
+	if m.SimTimeNs != 999 || m.WallNs != int64(3*time.Second) {
+		t.Fatalf("manifest stamps: sim=%d wall=%d", m.SimTimeNs, m.WallNs)
+	}
+	if is, ok := m.Metric("tcp_rto_total", L("proto", "dctcp")); !ok || is.Value != 7 {
+		t.Fatalf("Metric lookup: ok=%v %+v", ok, is)
+	}
+
+	var buf bytes.Buffer
+	if err := m.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round-trip mismatch:\nenc: %+v\ndec: %+v", m, got)
+	}
+}
+
+func TestManifestFile(t *testing.T) {
+	m := NewManifest("incast", 1)
+	m.SetConfig("flows", "200")
+	path := filepath.Join(t.TempDir(), "manifest.json")
+	if err := WriteManifestFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifestFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("file round-trip mismatch:\nwrote: %+v\nread: %+v", m, got)
+	}
+}
+
+func TestDiffSummaries(t *testing.T) {
+	mk := func(rto int64, cwndObs []int64) *Manifest {
+		r := NewRegistry()
+		r.Counter("tcp_rto_total").Add(rto)
+		h := r.Histogram("tcp_cwnd_mss")
+		for _, v := range cwndObs {
+			h.Observe(v)
+		}
+		r.Gauge("dctcp_alpha").Set(0.5) // gauges are excluded from diffs
+		m := NewManifest("x", 1)
+		m.Finish(r, 0)
+		return m
+	}
+	base := mk(10, []int64{1, 2})
+	cur := mk(12, []int64{1, 2})
+	diff := DiffSummaries(base, cur)
+	if len(diff) != 1 || !strings.Contains(diff[0], "tcp_rto_total: 10 -> 12") {
+		t.Fatalf("diff = %v", diff)
+	}
+	if d := DiffSummaries(base, mk(10, []int64{1, 2})); len(d) != 0 {
+		t.Fatalf("identical manifests must not diff: %v", d)
+	}
+}
+
+// The ISSUE's hard requirement: the hot path must not allocate, live or
+// disabled.
+func TestHotPathAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	var nilC *Counter
+	var nilG *Gauge
+	var nilH *Histogram
+
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"Counter.Add", func() { c.Add(1) }},
+		{"Gauge.Set", func() { g.Set(1.5) }},
+		{"Histogram.Observe", func() { h.Observe(12345) }},
+		{"nil Counter.Add", func() { nilC.Add(1) }},
+		{"nil Gauge.Set", func() { nilG.Set(1.5) }},
+		{"nil Histogram.Observe", func() { nilH.Observe(12345) }},
+	}
+	for _, ck := range checks {
+		if allocs := testing.AllocsPerRun(1000, ck.fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f per op, want 0", ck.name, allocs)
+		}
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("c")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkCounterAddNil(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkHistogramObserveNil(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"dctcpplus/internal/packet"
 	"dctcpplus/internal/sim"
 	"dctcpplus/internal/tcp"
+	"dctcpplus/internal/telemetry"
 )
 
 // FlowFactory produces the transport configuration and congestion-control
@@ -111,6 +112,11 @@ type Incast struct {
 
 	results []RoundResult
 
+	// Telemetry instruments; nil (no-op) unless AttachTelemetry was called.
+	mRounds  *telemetry.Counter
+	mGoodput *telemetry.Histogram
+	mFCT     *telemetry.Histogram
+
 	// OnFinished fires after the final round completes. Experiments
 	// typically halt the scheduler here.
 	OnFinished func()
@@ -148,6 +154,16 @@ func NewIncast(sched *sim.Scheduler, tt *netsim.TwoTier, cfg IncastConfig) *Inca
 		w.OnControl = in.onRequest
 	}
 	return in
+}
+
+// AttachTelemetry registers the workload's instruments on reg under the
+// given labels: a completed-round counter plus per-round goodput (Mbps) and
+// FCT (ns) histograms, each observed as a round closes. With a nil
+// registry the instruments stay nil and every update is a no-op.
+func (in *Incast) AttachTelemetry(reg *telemetry.Registry, labels ...telemetry.Label) {
+	in.mRounds = reg.Counter("workload_rounds_total", labels...)
+	in.mGoodput = reg.Histogram("workload_round_goodput_mbps", labels...)
+	in.mFCT = reg.Histogram("workload_round_fct_ns", labels...)
 }
 
 // Conns returns the workload's connections (flow i at index i), for
@@ -248,6 +264,9 @@ func (in *Incast) endRound() {
 		}
 	}
 	in.results = append(in.results, res)
+	in.mRounds.Add(1)
+	in.mGoodput.Observe(int64(res.GoodputMbps() + 0.5))
+	in.mFCT.Observe(int64(res.FCT))
 	in.round++
 	in.doneFlows = 0
 	if in.round < in.cfg.Rounds {
