@@ -1,9 +1,9 @@
 # Developer entry points. `make check` is the gate every change must pass:
-# build + vet + race-enabled tests, with gofmt drift treated as a failure.
+# build + vet + gofmt drift + simlint + race-enabled tests.
 
 GO ?= go
 
-.PHONY: all build vet test race fmt-check check bench baseline clean
+.PHONY: all build vet test race fmt-check lint check bench baseline clean
 
 all: check
 
@@ -26,7 +26,14 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: build vet fmt-check race
+# simlint is the repository's own static analysis (internal/lint): it
+# enforces determinism (no wall clock, no math/rand, no order-sensitive map
+# iteration, no goroutines in sim-scheduled code), sim-time and unit
+# discipline, and the telemetry nil-safety contract. Stdlib-only.
+lint:
+	$(GO) run ./cmd/simlint ./...
+
+check: build vet fmt-check lint race
 
 bench:
 	$(GO) test -bench=. -benchmem .

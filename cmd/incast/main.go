@@ -40,6 +40,11 @@ func main() {
 	)
 	flag.Parse()
 
+	if err := validateFlags(*rounds, *warmup, *total, *per, *rtoMin, *jitter); err != nil {
+		fmt.Fprintln(os.Stderr, "incast:", err)
+		os.Exit(2)
+	}
+
 	var reg *dcp.Registry
 	if *telOut != "" {
 		reg = dcp.NewRegistry()

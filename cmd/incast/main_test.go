@@ -1,0 +1,78 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	const (
+		rto = 200 * time.Millisecond
+		jit = 4 * time.Millisecond
+	)
+	cases := []struct {
+		name           string
+		rounds, warmup int
+		total, perflow int64
+		rtoMin, jitter time.Duration
+		wantErr        bool
+	}{
+		{"defaults", 50, 10, 1 << 20, 0, rto, jit, false},
+		{"perflow overrides total", 50, 10, 0, 64 << 10, rto, jit, false},
+		{"zero warmup", 1, 0, 1 << 20, 0, rto, jit, false},
+		{"zero jitter", 50, 10, 1 << 20, 0, rto, 0, false},
+		{"zero rounds", 0, 0, 1 << 20, 0, rto, jit, true},
+		{"negative rounds", -5, 0, 1 << 20, 0, rto, jit, true},
+		{"negative warmup", 50, -1, 1 << 20, 0, rto, jit, true},
+		{"warmup swallows rounds", 10, 10, 1 << 20, 0, rto, jit, true},
+		{"zero byte budget", 50, 10, 0, 0, rto, jit, true},
+		{"negative total", 50, 10, -1, 0, rto, jit, true},
+		{"negative perflow", 50, 10, 1 << 20, -4096, rto, jit, true},
+		{"zero rtomin", 50, 10, 1 << 20, 0, 0, jit, true},
+		{"negative jitter", 50, 10, 1 << 20, 0, rto, -time.Millisecond, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateFlags(c.rounds, c.warmup, c.total, c.perflow, c.rtoMin, c.jitter)
+			if (err != nil) != c.wantErr {
+				t.Errorf("validateFlags = %v, wantErr=%v", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	cases := []struct {
+		csv     string
+		want    []int
+		wantErr bool
+	}{
+		{"10,20,40", []int{10, 20, 40}, false},
+		{" 1 , 2 ", []int{1, 2}, false},
+		{"200", []int{200}, false},
+		{"", nil, true},
+		{"10,,20", nil, true},
+		{"0", nil, true},
+		{"-3", nil, true},
+		{"ten", nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseInts(c.csv)
+		if (err != nil) != c.wantErr {
+			t.Errorf("parseInts(%q) err = %v, wantErr=%v", c.csv, err, c.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseInts(%q) = %v, want %v", c.csv, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseInts(%q)[%d] = %d, want %d", c.csv, i, got[i], c.want[i])
+			}
+		}
+	}
+}

@@ -43,6 +43,10 @@ func section(title, expectation string) {
 
 func main() {
 	flag.Parse()
+	if err := validateFlags(*rounds, *warmup); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(2)
+	}
 	start := time.Now()
 	scale := dcp.Scale{Rounds: *rounds, Warmup: *warmup, Seed: *seed}
 	if *telOut != "" || *baseline != "" {

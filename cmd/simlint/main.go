@@ -1,0 +1,90 @@
+// Command simlint runs the repository's domain-specific static analysis
+// over the module: determinism guards, sim-time discipline, unit safety,
+// float-equality and telemetry nil-safety (see internal/lint).
+//
+//	simlint ./...            # lint the whole module (the make check gate)
+//	simlint ./internal/tcp   # lint one package
+//	simlint -json ./...      # machine-readable diagnostics, one JSON array
+//	simlint -list            # print the analyzer suite and exit
+//
+// Exit status: 0 when clean, 1 when diagnostics were reported, 2 on a
+// load/usage error. Diagnostics print as file:line:col: analyzer: message.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dctcpplus/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+		list    = flag.Bool("list", false, "list the analyzer suite and exit")
+	)
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags := lint.Run(pkgs, analyzers)
+
+	// Report paths relative to the module root: stable across machines,
+	// clickable from the repository checkout.
+	for i := range diags {
+		if rel, err := filepath.Rel(loader.ModuleRoot(), diags[i].File); err == nil {
+			diags[i].File = rel
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "simlint: %d diagnostic(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simlint:", err)
+	os.Exit(2)
+}

@@ -38,6 +38,7 @@
 package core
 
 import (
+	"dctcpplus/internal/check"
 	"dctcpplus/internal/dctcp"
 	"dctcpplus/internal/sim"
 	"dctcpplus/internal/tcp"
@@ -340,6 +341,7 @@ func (e *Enhancer) divide(s *tcp.Sender) bool {
 	}
 	e.lastDecay = now
 	e.slowTime = sim.Duration(float64(e.slowTime) / e.cfg.DivisorFactor)
+	check.NonNegativeDur("core.slow_time after decrease", e.slowTime)
 	e.stats.DecSteps++
 	e.mDecSteps.Add(1)
 	e.mSlowTime.Observe(int64(e.slowTime))
@@ -349,6 +351,7 @@ func (e *Enhancer) divide(s *tcp.Sender) bool {
 // increase applies one additive step and records the high-water mark.
 func (e *Enhancer) increase(s *tcp.Sender) {
 	e.slowTime += e.backoffStep(s)
+	check.NonNegativeDur("core.slow_time after increase", e.slowTime)
 	e.stats.IncSteps++
 	e.mIncSteps.Add(1)
 	e.mSlowTime.Observe(int64(e.slowTime))
@@ -366,6 +369,13 @@ func (e *Enhancer) increase(s *tcp.Sender) {
 // retransmission — even while the window floats slightly above the floor;
 // slow_time, not the window, is the controlled variable in these states.
 func (e *Enhancer) evolve(s *tcp.Sender, ece, retrans bool) {
+	// Algorithm 1 invariants: slow_time is engaged only outside
+	// DCTCP_NORMAL, and never negative.
+	if e.state == StateNormal {
+		check.ZeroDur("core.slow_time in DCTCP_NORMAL", e.slowTime)
+	}
+	check.NonNegativeDur("core.slow_time", e.slowTime)
+
 	// Congestion signals: ECN echo, a timeout retransmission event, or an
 	// ongoing loss-recovery episode ("retransmission after the timeout" —
 	// while the sender is still repairing losses, every ACK confirms the

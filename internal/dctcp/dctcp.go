@@ -12,6 +12,7 @@
 package dctcp
 
 import (
+	"dctcpplus/internal/check"
 	"dctcpplus/internal/sim"
 	"dctcpplus/internal/tcp"
 	"dctcpplus/internal/telemetry"
@@ -79,6 +80,7 @@ func (d *DCTCP) OnAck(s *tcp.Sender, acked int64, ece bool) {
 	if s.SndUna() >= d.windowEnd && d.ackedBytes > 0 {
 		f := float64(d.markedBytes) / float64(d.ackedBytes)
 		d.alpha = (1-d.g)*d.alpha + d.g*f
+		check.Unit("dctcp.alpha", d.alpha)
 		d.ackedBytes, d.markedBytes = 0, 0
 		d.windowEnd = s.SndNxt()
 		d.mAlphaUpdates.Add(1)

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dctcpplus/internal/telemetry"
+)
+
+// instrumentedIncast performs one fully instrumented incast run and returns
+// the registry snapshot's JSON serialization plus a finished manifest.
+func instrumentedIncast(t *testing.T, p Protocol, flows int) ([]byte, *telemetry.Manifest) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	o := fastIncastOpts(p, flows)
+	o.Telemetry = reg
+	RunIncast(o)
+
+	data, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := telemetry.NewManifest("determinism-regression", o.Testbed.Seed)
+	m.Finish(reg, 0)
+	return data, m
+}
+
+// TestSeededRunsAreByteIdentical is the determinism regression harness: the
+// same seeded experiment run twice must produce byte-identical metric
+// snapshots — every counter, gauge and histogram across every hot layer —
+// for both the baseline and the enhanced protocol. Wall-clock manifest
+// fields (CreatedAt, WallNs) are excluded by construction; everything else
+// must match to the byte.
+func TestSeededRunsAreByteIdentical(t *testing.T) {
+	for _, p := range []Protocol{ProtoDCTCP, ProtoDCTCPPlus} {
+		t.Run(p.String(), func(t *testing.T) {
+			snapA, manA := instrumentedIncast(t, p, 24)
+			snapB, manB := instrumentedIncast(t, p, 24)
+
+			if !bytes.Equal(snapA, snapB) {
+				t.Errorf("registry snapshots differ between identically seeded runs\nA: %s\nB: %s", snapA, snapB)
+			}
+
+			// The manifest adds run metadata on top of the snapshot; after
+			// normalizing the wall-clock stamp the two must serialize
+			// identically as well.
+			manA.CreatedAt, manB.CreatedAt = "", ""
+			jsonA, err := json.Marshal(manA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			jsonB, err := json.Marshal(manB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(jsonA, jsonB) {
+				t.Error("manifests differ between identically seeded runs")
+			}
+
+			if diffs := telemetry.DiffSummaries(manA, manB); len(diffs) != 0 {
+				t.Errorf("DiffSummaries reported %d drifting instruments:\n%s",
+					len(diffs), diffs)
+			}
+		})
+	}
+}
+
+// TestDiffSummariesSeesProtocolChange guards the harness itself: the same
+// diff that must be empty across reruns must be non-empty across a real
+// behavioural change, or an always-empty diff would pass the test above
+// vacuously.
+func TestDiffSummariesSeesProtocolChange(t *testing.T) {
+	_, dctcp := instrumentedIncast(t, ProtoDCTCP, 24)
+	_, plus := instrumentedIncast(t, ProtoDCTCPPlus, 24)
+	if diffs := telemetry.DiffSummaries(dctcp, plus); len(diffs) == 0 {
+		t.Error("DiffSummaries found no difference between DCTCP and DCTCP+ runs")
+	}
+}

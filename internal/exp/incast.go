@@ -111,7 +111,10 @@ type IncastOptions struct {
 // RoundPoint is one round of an incast run, retained when KeepRounds is
 // set.
 type RoundPoint struct {
-	Start        sim.Time
+	Start sim.Time
+	// FCTms is a reporting-boundary value: milliseconds as float64, the
+	// same unit-less shape internal/stats summarizes and figures plot.
+	//lint:allow simtime plot-axis milliseconds; the unit is spelled in the name
 	FCTms        float64
 	GoodputMbps  float64
 	FlowTimeouts int // flows that hit at least one RTO this round

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TelemetrySafety returns the analyzer that polices the telemetry layer's
+// founding contract: a nil instrument is a no-op, so hot layers attach
+// instruments unconditionally and call them unconditionally.
+//
+// Inside the telemetry package it checks the producer side: every exported
+// pointer-receiver method on an instrument type (Counter, Gauge,
+// Histogram, Registry) that touches a receiver field must begin with the
+// nil-guard idiom (an early return dominated by a receiver == nil test)
+// before the first dereference.
+//
+// Outside the package it checks the consumer side: comparing an instrument
+// pointer against nil (or dereferencing one) means a layer has stopped
+// trusting the idiom — the guarded call is both wrong-headed and a source
+// of drift, because the guard silently diverges from the no-op behavior
+// the instruments already implement.
+func TelemetrySafety() *Analyzer {
+	return &Analyzer{
+		Name: "telemetrysafety",
+		Doc:  "instrument methods need the nil-guard idiom; callers must not nil-test instruments",
+		Run:  runTelemetrySafety,
+	}
+}
+
+// instrumentTypes are the nil-safe instrument types by name.
+var instrumentTypes = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+	"Registry":  true,
+}
+
+// callerCheckedTypes are the instrument types callers must never nil-test:
+// Registry is excluded because conditionally *creating* a registry
+// (telemetry on/off) is the normal configuration pattern.
+var callerCheckedTypes = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+const telemetryPkgPath = "dctcpplus/internal/telemetry"
+
+func runTelemetrySafety(p *Package) []Diagnostic {
+	if p.Types.Name() == "telemetry" {
+		return p.checkInstrumentMethods()
+	}
+	return p.checkInstrumentCallers()
+}
+
+// checkInstrumentMethods enforces the nil-guard idiom on exported pointer
+// methods of the instrument types.
+func (p *Package) checkInstrumentMethods() []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !fd.Name.IsExported() || fd.Body == nil {
+				continue
+			}
+			recvName, typeName, ptr := receiverInfo(fd)
+			if !ptr || !instrumentTypes[typeName] || recvName == "" || recvName == "_" {
+				continue
+			}
+			if pos, bad := p.fieldAccessBeforeNilGuard(fd, recvName); bad {
+				out = append(out, p.diag("telemetrysafety", pos.Pos(),
+					"%s.%s dereferences the receiver before the nil guard: instrument methods must start with `if %s == nil`",
+					typeName, fd.Name.Name, recvName))
+			}
+		}
+	}
+	return out
+}
+
+// receiverInfo extracts the receiver's name, base type name and whether it
+// is a pointer receiver.
+func receiverInfo(fd *ast.FuncDecl) (recvName, typeName string, ptr bool) {
+	if len(fd.Recv.List) != 1 {
+		return "", "", false
+	}
+	field := fd.Recv.List[0]
+	if len(field.Names) == 1 {
+		recvName = field.Names[0].Name
+	}
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		ptr = true
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		typeName = id.Name
+	}
+	return recvName, typeName, ptr
+}
+
+// fieldAccessBeforeNilGuard scans the method body's top-level statements in
+// order. A field access on the receiver (recv.field where field is not a
+// method) occurring before an `if recv == nil { return/panic }` guard is a
+// violation; accesses after the guard, and methods that only call other
+// (themselves guarded) methods, are fine.
+func (p *Package) fieldAccessBeforeNilGuard(fd *ast.FuncDecl, recvName string) (ast.Node, bool) {
+	type posNode = ast.Node
+	guarded := false
+	for _, st := range fd.Body.List {
+		if !guarded && isNilGuard(st, recvName) {
+			guarded = true
+			continue
+		}
+		if guarded {
+			return nil, false
+		}
+		var bad posNode
+		ast.Inspect(st, func(n ast.Node) bool {
+			if bad != nil {
+				return false
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != recvName {
+				return true
+			}
+			if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+				bad = sel
+				return false
+			}
+			return true
+		})
+		if bad != nil {
+			return bad, true
+		}
+	}
+	return nil, false
+}
+
+// isNilGuard reports whether st is `if recv == nil { ... }` (possibly with
+// extra conjuncts/disjuncts, e.g. `if c == nil || n <= 0`) whose body exits.
+func isNilGuard(st ast.Stmt, recvName string) bool {
+	ifSt, ok := st.(*ast.IfStmt)
+	if !ok || ifSt.Init != nil {
+		return false
+	}
+	if !condTestsNil(ifSt.Cond, recvName) {
+		return false
+	}
+	if len(ifSt.Body.List) == 0 {
+		return false
+	}
+	switch last := ifSt.Body.List[len(ifSt.Body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	default:
+		return false
+	}
+}
+
+// condTestsNil reports whether cond contains the comparison recv == nil.
+func condTestsNil(cond ast.Expr, recvName string) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		x, xo := be.X.(*ast.Ident)
+		y, yo := be.Y.(*ast.Ident)
+		if xo && yo {
+			if (x.Name == recvName && y.Name == "nil") || (y.Name == recvName && x.Name == "nil") {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkInstrumentCallers flags nil-comparisons and explicit dereferences
+// of instrument-typed expressions outside the telemetry package.
+func (p *Package) checkInstrumentCallers() []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				var operand ast.Expr
+				if isNilIdent(n.X) {
+					operand = n.Y
+				} else if isNilIdent(n.Y) {
+					operand = n.X
+				} else {
+					return true
+				}
+				if name, ok := p.instrumentPtrType(operand); ok {
+					out = append(out, p.diag("telemetrysafety", n.OpPos,
+						"nil test on *telemetry.%s: instruments are nil-safe no-ops — call them unconditionally", name))
+				}
+			case *ast.StarExpr:
+				// Only value dereferences: *T in a type position (field and
+				// parameter declarations) is the normal way to hold one.
+				if tv, ok := p.Info.Types[n]; !ok || !tv.IsValue() {
+					return true
+				}
+				if name, ok := p.instrumentPtrType(n.X); ok {
+					out = append(out, p.diag("telemetrysafety", n.Pos(),
+						"dereference of *telemetry.%s: copying instrument state bypasses the nil-safe API", name))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// instrumentPtrType reports whether e's type is a pointer to one of the
+// telemetry instrument types callers must treat as opaque.
+func (p *Package) instrumentPtrType(e ast.Expr) (string, bool) {
+	t := p.Info.TypeOf(e)
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return "", false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), telemetryPkgPath) {
+		return "", false
+	}
+	return obj.Name(), callerCheckedTypes[obj.Name()]
+}

@@ -1,0 +1,6 @@
+// Package directive carries a reason-less allow directive: the allowlist
+// policy requires every exception to document why it exists.
+package directive
+
+//lint:allow floateq
+func helper() int { return 0 }

@@ -1,0 +1,8 @@
+// Package globalrand draws from the process-global math/rand stream, whose
+// sequence is pinned by the Go release rather than by this repository.
+package globalrand
+
+import "math/rand"
+
+// Roll returns a pseudo-random int.
+func Roll() int { return rand.Int() }

@@ -1,0 +1,11 @@
+// Package gospawn spawns a goroutine inside sim-scheduled code, making
+// event interleaving depend on the Go scheduler.
+package gospawn
+
+import "dctcpplus/internal/sim"
+
+// Fire runs fn concurrently with the event loop.
+func Fire(s *sim.Scheduler, fn func()) {
+	go fn()
+	_ = s
+}

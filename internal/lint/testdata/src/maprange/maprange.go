@@ -1,0 +1,12 @@
+// Package maprange iterates a map with an order-sensitive body: the keys
+// are collected but never sorted.
+package maprange
+
+// Keys copies the keys in whatever order the runtime hands them out.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

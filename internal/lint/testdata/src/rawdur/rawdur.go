@@ -1,0 +1,11 @@
+// Package rawdur leaks a raw nanosecond count across an exported boundary
+// of a package where the sim time types are available.
+package rawdur
+
+import "dctcpplus/internal/sim"
+
+// Config crosses the API boundary with a raw duration.
+type Config struct {
+	Clock   sim.Time
+	DelayNs int64
+}

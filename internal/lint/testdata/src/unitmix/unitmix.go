@@ -1,0 +1,7 @@
+// Package unitmix adds a byte count to a packet count.
+package unitmix
+
+// Overflow mixes units in the addition.
+func Overflow(qBytes, droppedPkts int) bool {
+	return qBytes+droppedPkts > 0
+}

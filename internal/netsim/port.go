@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"dctcpplus/internal/check"
 	"dctcpplus/internal/packet"
 	"dctcpplus/internal/sim"
 	"dctcpplus/internal/telemetry"
@@ -248,6 +249,7 @@ func (p *Port) Enqueue(pkt *packet.Packet) {
 	}
 	p.queue = append(p.queue, pkt)
 	p.qBytes += size
+	check.AtMost("netsim.port queue bytes", int64(p.qBytes), int64(p.cfg.BufferBytes))
 	p.stats.EnqueuedPkts++
 	p.stats.EnqueuedBytes += int64(size)
 	p.mEnqueued.Add(1)
@@ -277,6 +279,7 @@ func (p *Port) transmitNext() {
 	p.queue = p.queue[1:]
 	size := pkt.Size()
 	p.qBytes -= size
+	check.NonNegative("netsim.port queue bytes", int64(p.qBytes))
 	p.stats.DequeuedPkts++
 	p.stats.DequeuedBytes += int64(size)
 	if p.OnQueueChange != nil {

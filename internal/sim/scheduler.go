@@ -115,6 +115,12 @@ func (s *Scheduler) Step() bool {
 		return false
 	}
 	e := heap.Pop(&s.queue).(*Event)
+	// Monotone-clock invariant, asserted inline because internal/check
+	// imports this package: At() rejects past scheduling at insertion, and
+	// this guards the pop side against heap corruption.
+	if e.when < s.now {
+		panic(fmt.Sprintf("sim: clock would move backwards: %v -> %v", s.now, e.when))
+	}
 	s.now = e.when
 	s.fired++
 	e.fn()

@@ -140,6 +140,7 @@ func (c *CDF) Curve(n int) []Point {
 		return nil
 	}
 	lo, hi := c.sorted[0], c.sorted[len(c.sorted)-1]
+	//lint:allow floateq lo and hi are untouched copies of stored samples; a degenerate range compares exactly
 	if n == 1 || hi == lo {
 		return []Point{{hi, 1}}
 	}

@@ -3,6 +3,7 @@ package tcp
 import (
 	"fmt"
 
+	"dctcpplus/internal/check"
 	"dctcpplus/internal/netsim"
 	"dctcpplus/internal/packet"
 	"dctcpplus/internal/sim"
@@ -436,6 +437,12 @@ func (s *Sender) Deliver(pkt *packet.Packet) {
 	case ackNo > s.sndUna:
 		acked = ackNo - s.sndUna
 		s.sndUna = ackNo
+		// A late cumulative ACK for pre-rewind data can overtake a
+		// go-back-N rewind; snd_nxt never trails snd_una, or the sender
+		// would "retransmit" bytes the receiver already acknowledged.
+		if s.sndNxt < s.sndUna {
+			s.sndNxt = s.sndUna
+		}
 		if s.timedValid && ackNo >= s.timedSeq {
 			s.rtt.Sample(now.Sub(s.timedAt))
 			s.timedValid = false
@@ -523,6 +530,7 @@ func (s *Sender) Deliver(pkt *packet.Packet) {
 		}
 	}
 
+	s.assertInvariants()
 	s.pump()
 
 	// Sample the window on every processed ACK — the same cadence as the
@@ -532,6 +540,17 @@ func (s *Sender) Deliver(pkt *packet.Packet) {
 	if s.OnAckProbe != nil {
 		s.OnAckProbe(s, ece)
 	}
+}
+
+// assertInvariants checks the sender's window and sequence invariants on
+// the ACK path, the only place this state changes. The window may inflate
+// past MaxCwnd during recovery (one MSS per duplicate ACK), so only the
+// 1-MSS loss-window floor bounds it from below.
+func (s *Sender) assertInvariants() {
+	check.AtLeast("tcp.cwnd (MSS)", s.cwnd, 1)
+	check.NonNegative("tcp.inflight bytes", s.InflightBytes())
+	check.NonNegative("tcp.snd_una", s.sndUna)
+	check.AtMost("tcp.snd_nxt", s.sndNxt, s.totalBytes)
 }
 
 // grow applies slow start or congestion avoidance to the window, honoring

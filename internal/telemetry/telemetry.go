@@ -218,6 +218,9 @@ func (h *Histogram) Mean() float64 {
 // buckets, interpolating linearly inside the selected bucket. The estimate
 // is exact to within the bucket's power-of-two resolution.
 func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
 	n := h.Count()
 	if n == 0 {
 		return 0
@@ -429,6 +432,7 @@ func (s InstrumentSnapshot) key() string {
 // Snapshot is the frozen state of a whole registry, stamped with the
 // virtual-time high-water mark.
 type Snapshot struct {
+	//lint:allow simtime JSON schema field; the unit is pinned by the wire format
 	SimTimeNs   int64                `json:"sim_time_ns"`
 	Instruments []InstrumentSnapshot `json:"instruments"`
 }

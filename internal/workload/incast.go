@@ -7,6 +7,7 @@ package workload
 import (
 	"fmt"
 
+	"dctcpplus/internal/check"
 	"dctcpplus/internal/netsim"
 	"dctcpplus/internal/packet"
 	"dctcpplus/internal/sim"
@@ -239,6 +240,7 @@ func (in *Incast) onRequest(pkt *packet.Packet) {
 // flow arrives the round closes and the next begins.
 func (in *Incast) onData(i int, n int64) {
 	in.recvd[i] += n
+	check.AtMost("workload.incast received bytes", in.recvd[i], in.cfg.BytesPerFlow)
 	if in.recvd[i] == in.cfg.BytesPerFlow {
 		in.doneFlows++
 		if in.doneFlows == in.cfg.Flows {
