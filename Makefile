@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fmt-check lint check bench baseline clean
+.PHONY: all build vet test race fmt-check lint check bench alloc-check baseline clean
 
 all: check
 
@@ -35,8 +35,14 @@ lint:
 
 check: build vet fmt-check lint race
 
+# Benchmarks with the alloc column: the sim, netsim and tcp hot paths must
+# report 0 allocs/op (the AllocsPerRun tests in those packages pin it).
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem ./internal/sim ./internal/netsim ./internal/tcp
+
+# Just the allocation-budget regression tests, without the benchmarks.
+alloc-check:
+	$(GO) test -run 'AllocBudget|AllocFree' ./internal/sim ./internal/netsim ./internal/tcp
 
 # Regenerate the committed telemetry baseline manifest (reduced scale; see
 # cmd/report -h for the full-figure knobs).

@@ -1,20 +1,32 @@
 // Command simlint runs the repository's domain-specific static analysis
 // over the module: determinism guards, sim-time discipline, unit safety,
-// float-equality and telemetry nil-safety (see internal/lint).
+// float-equality, telemetry nil-safety, and the call-graph passes —
+// hot-path allocation budgets, enum-switch exhaustiveness and whole-graph
+// purity (see internal/lint).
 //
 //	simlint ./...            # lint the whole module (the make check gate)
 //	simlint ./internal/tcp   # lint one package
 //	simlint -json ./...      # machine-readable diagnostics, one JSON array
 //	simlint -list            # print the analyzer suite and exit
 //
-// Exit status: 0 when clean, 1 when diagnostics were reported, 2 on a
-// load/usage error. Diagnostics print as file:line:col: analyzer: message.
+// Exit status is a contract, relied on by make check and CI:
+//
+//	0  every matched package type-checked and produced no diagnostics
+//	1  the analysis ran and reported at least one diagnostic
+//	2  the analysis could not run: unknown flag, unresolvable pattern,
+//	   or a package that fails to type-check
+//
+// Text mode prints file:line:col: analyzer: message per finding, with a
+// trailing count on stderr. JSON mode always prints exactly one array on
+// stdout ([] when clean), so a consumer may parse unconditionally; load
+// errors go to stderr and are signalled only by status 2.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -22,35 +34,53 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind a testable seam: parse args, load, lint,
+// report, and return the exit status per the contract above.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		jsonOut = flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
-		list    = flag.Bool("list", false, "list the analyzer suite and exit")
+		jsonOut = fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+		list    = fs.Bool("list", false, "list the analyzer suite and exit")
+		dir     = fs.String("C", "", "change to this directory before resolving patterns")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	analyzers := lint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	cwd, err := os.Getwd()
-	if err != nil {
-		fatal(err)
+	root := *dir
+	if root == "" {
+		cwd, err := os.Getwd()
+		if err != nil {
+			fmt.Fprintln(stderr, "simlint:", err)
+			return 2
+		}
+		root = cwd
 	}
-	loader, err := lint.NewLoader(cwd)
+	loader, err := lint.NewLoader(root)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "simlint:", err)
+		return 2
 	}
 	pkgs, err := loader.Load(patterns...)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "simlint:", err)
+		return 2
 	}
 	diags := lint.Run(pkgs, analyzers)
 
@@ -63,28 +93,25 @@ func main() {
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
 			diags = []lint.Diagnostic{}
 		}
 		if err := enc.Encode(diags); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "simlint:", err)
+			return 2
 		}
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 		if len(diags) > 0 {
-			fmt.Fprintf(os.Stderr, "simlint: %d diagnostic(s)\n", len(diags))
+			fmt.Fprintf(stderr, "simlint: %d diagnostic(s)\n", len(diags))
 		}
 	}
 	if len(diags) > 0 {
-		os.Exit(1)
+		return 1
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "simlint:", err)
-	os.Exit(2)
+	return 0
 }

@@ -54,10 +54,15 @@ func HULLTestbed() Testbed {
 	return tb
 }
 
-// build constructs a fresh scheduler and topology.
+// build constructs a fresh scheduler and topology. Experiment runs always
+// recycle packets: every consumer in the driver stack (workload handlers,
+// taps, probes) copies fields out synchronously, and long sweeps would
+// otherwise allocate per packet.
 func (tb Testbed) build() (*sim.Scheduler, *netsim.TwoTier) {
 	sched := sim.NewScheduler()
-	return sched, netsim.NewTwoTier(sched, tb.Leaves, tb.HostsPerLeaf, tb.Topo)
+	tt := netsim.NewTwoTier(sched, tb.Leaves, tb.HostsPerLeaf, tb.Topo)
+	tt.EnablePacketPool()
+	return sched, tt
 }
 
 // IncastOptions parameterizes one incast run (one point of Figs. 1/6/7/8,

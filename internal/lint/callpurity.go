@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CallPurity returns the analyzer that upgrades the per-function
+// nondeterminism rules to whole-call-graph taint: a //hot:path function and
+// everything statically reachable from it must be free of nondeterministic
+// operations, regardless of which package the operation lands in and
+// regardless of the per-package allowances the base nondeterminism analyzer
+// grants (cmd/ may read the wall clock for run metadata; internal/exp may
+// spawn goroutines for sweep parallelism — hot-path code may do neither).
+//
+// Sources flagged inside hot-reachable functions:
+//
+//   - wall-clock reads (time.Now and friends) — virtual time comes from
+//     the scheduler;
+//   - any call into math/rand — stochastic decisions draw from sim.RNG;
+//   - goroutine spawns — the event loop is single-threaded by design;
+//   - order-sensitive iteration over a map (Go randomizes range order).
+//
+// Each finding is reported once, in the package that contains the source,
+// with the hot root it is reachable from as provenance; the taint is
+// carried by the shared call graph (see Program), not by repeating the
+// report at every frame of the call chain.
+func CallPurity() *Analyzer {
+	return &Analyzer{
+		Name: "callpurity",
+		Doc:  "forbid nondeterminism anywhere in the call graph reachable from //hot:path roots",
+		Run:  runCallPurity,
+	}
+}
+
+func runCallPurity(p *Package) []Diagnostic {
+	if p.Prog == nil {
+		return nil
+	}
+	var out []Diagnostic
+	for _, n := range p.Prog.hotNodesIn(p) {
+		root, _ := p.Prog.hotReachable(n.fn)
+		where := rootLabel(n.fn, root)
+		file := fileOf(p, n.decl)
+
+		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+			switch node := node.(type) {
+			case *ast.CallExpr:
+				sel, ok := unparen(node.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if wallClockFuncs[sel.Sel.Name] && p.isPkgIdent(sel.X, "time") {
+					out = append(out, p.diag("callpurity", node.Pos(),
+						"wall-clock read time.%s on a hot path %s: use the sim.Scheduler clock",
+						sel.Sel.Name, where))
+				}
+				if p.isPkgIdent(sel.X, "math/rand") || p.isPkgIdent(sel.X, "math/rand/v2") {
+					out = append(out, p.diag("callpurity", node.Pos(),
+						"math/rand call on a hot path %s: draw from sim.RNG", where))
+				}
+			case *ast.GoStmt:
+				out = append(out, p.diag("callpurity", node.Pos(),
+					"goroutine spawn on a hot path %s: the event loop is single-threaded", where))
+			case *ast.RangeStmt:
+				for _, d := range p.checkMapRange(file, node) {
+					d.Analyzer = "callpurity"
+					d.Message = "order-sensitive map iteration on a hot path " + where +
+						": range order is randomized per run"
+					out = append(out, d)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fileOf returns the AST file containing the declaration.
+func fileOf(p *Package, decl *ast.FuncDecl) *ast.File {
+	for _, f := range p.Files {
+		if f.Pos() <= decl.Pos() && decl.Pos() < f.End() {
+			return f
+		}
+	}
+	return nil
+}

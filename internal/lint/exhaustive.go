@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive returns the analyzer that pins state-machine discipline: every
+// switch over a module-declared enum type (the core three-state machine,
+// the sender's loss-recovery states, ECN modes, marking policies) must
+// either list every declared constant of that type or carry a default
+// clause that panics. A silent fall-through on a missed state is exactly
+// the implementation-drift failure mode the DCTCP literature warns about —
+// the protocol keeps running with "no apparent pattern" in its behavior.
+//
+// A type qualifies as an enum when it is a named, basic-integer type
+// declared in this module with at least two package-level constants.
+// Bitmask flag sets — every constant a distinct nonzero power of two, like
+// packet.Flags — are exempt: flags are tested by masking, not switched over
+// state by state. Type switches and tagless switches are out of scope.
+func Exhaustive() *Analyzer {
+	return &Analyzer{
+		Name: "exhaustive",
+		Doc:  "require switches over module enum types to cover every constant or panic in default",
+		Run:  runExhaustive,
+	}
+}
+
+func runExhaustive(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(node ast.Node) bool {
+			sw, ok := node.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			out = append(out, p.checkSwitch(sw)...)
+			return true
+		})
+	}
+	return out
+}
+
+// checkSwitch validates one tagged switch if its tag is an enum type.
+func (p *Package) checkSwitch(sw *ast.SwitchStmt) []Diagnostic {
+	t := p.Info.TypeOf(sw.Tag)
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	consts := p.enumConstants(named)
+	if consts == nil {
+		return nil
+	}
+
+	covered := make(map[string]bool)
+	var defaultClause *ast.CaseClause
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := p.Info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, c := range consts {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if defaultClause != nil && p.clausePanics(defaultClause) {
+		return nil
+	}
+	sort.Strings(missing)
+	verb := "add the missing cases or a panicking default"
+	if defaultClause != nil {
+		verb = "the default falls through silently; cover the cases or make it panic"
+	}
+	return []Diagnostic{p.diag("exhaustive", sw.Pos(),
+		"switch over %s misses %s: %s",
+		named.Obj().Name(), strings.Join(missing, ", "), verb)}
+}
+
+// enumConstants returns the package-level constants of the named type when
+// it qualifies as a module enum, or nil.
+func (p *Package) enumConstants(named *types.Named) []*types.Const {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	if pkgPath := obj.Pkg().Path(); pkgPath != p.ModPath && !strings.HasPrefix(pkgPath, p.ModPath+"/") {
+		return nil // stdlib and foreign enums (token.Token, ...) are out of scope
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	var consts []*types.Const
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if ok && types.Identical(c.Type(), named) {
+			consts = append(consts, c)
+		}
+	}
+	if len(consts) < 2 {
+		return nil
+	}
+	if isBitmask(consts) {
+		return nil
+	}
+	return consts
+}
+
+// isBitmask reports whether every constant is a distinct nonzero power of
+// two — a flag set, combined by OR and tested by masking rather than
+// switched over.
+func isBitmask(consts []*types.Const) bool {
+	seen := make(map[uint64]bool)
+	for _, c := range consts {
+		v, ok := constant.Uint64Val(c.Val())
+		if !ok || v == 0 || v&(v-1) != 0 || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// clausePanics reports whether a case clause's body unconditionally dies:
+// one of its statements is a panic(...) or a call to a terminal function
+// (check.Failf style).
+func (p *Package) clausePanics(cc *ast.CaseClause) bool {
+	for _, stmt := range cc.Body {
+		expr, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := expr.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "panic" {
+				return true
+			}
+		}
+		if callee, _ := p.calleeOf(call); callee != nil && p.Prog != nil && p.Prog.isTerminal(callee) {
+			return true
+		}
+	}
+	return false
+}

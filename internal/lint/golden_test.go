@@ -16,10 +16,6 @@ var update = flag.Bool("update", false, "rewrite the fixtures' expect.txt golden
 // expect.txt. Each violation fixture triggers exactly one diagnostic from
 // one analyzer; the clean fixture expects none.
 func TestFixtures(t *testing.T) {
-	loader, err := NewLoader(".")
-	if err != nil {
-		t.Fatal(err)
-	}
 	entries, err := os.ReadDir(filepath.Join("testdata", "src"))
 	if err != nil {
 		t.Fatal(err)
@@ -30,6 +26,14 @@ func TestFixtures(t *testing.T) {
 		}
 		name := e.Name()
 		t.Run(name, func(t *testing.T) {
+			// A fresh loader per fixture keeps each fixture's call graph
+			// isolated: a //hot:path root in one fixture must not mark
+			// functions of another fixture hot-reachable through the shared
+			// Program.
+			loader, err := NewLoader(".")
+			if err != nil {
+				t.Fatal(err)
+			}
 			pkgs, err := loader.Load("internal/lint/testdata/src/" + name)
 			if err != nil {
 				t.Fatal(err)

@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotalloc returns the analyzer that enforces the zero-allocation budget on
+// hot paths. A function annotated //hot:path — the per-packet and per-ACK
+// roots of the simulator — and everything statically reachable from it
+// (see Program for the call-graph construction) must not contain
+// heap-allocating constructs:
+//
+//   - new(T), make(...), and &T{...} / slice / map composite literals;
+//   - append (growth allocates; audited amortized-growth sites carry a
+//     //lint:allow hotalloc directive explaining why they are safe);
+//   - function literals (a closure evaluated on the hot path escapes to its
+//     caller and allocates — bind callbacks once at construction instead);
+//   - defer (allocates a frame record and is banned from per-packet code);
+//   - fmt.* calls (interface boxing plus formatting buffers);
+//   - string concatenation;
+//   - implicit interface boxing at call sites: passing a non-pointer
+//     concrete value where an interface parameter is declared. Pointers are
+//     exempt — storing a pointer in an interface fits the data word, which
+//     is exactly why the scheduler's arg-carrying events take func(any)
+//     plus a pointer argument.
+//
+// Two exemptions apply, both derived from the call graph: the arguments of
+// panic(...), and calls to (and bodies of) terminal panic helpers such as
+// check.Failf — a dying simulation may allocate for a good message.
+func Hotalloc() *Analyzer {
+	return &Analyzer{
+		Name: "hotalloc",
+		Doc:  "forbid heap-allocating constructs in //hot:path functions and everything they reach",
+		Run:  runHotalloc,
+	}
+}
+
+func runHotalloc(p *Package) []Diagnostic {
+	if p.Prog == nil {
+		return nil
+	}
+	var out []Diagnostic
+	for _, n := range p.Prog.hotNodesIn(p) {
+		root, _ := p.Prog.hotReachable(n.fn)
+		out = append(out, p.hotallocFunc(n, root)...)
+	}
+	return out
+}
+
+// exemptRanges collects the source intervals inside which allocation is
+// forgiven: arguments of panic(...) and entire calls to terminal functions.
+func (p *Package) exemptRanges(body *ast.BlockStmt) []posRange {
+	var out []posRange
+	ast.Inspect(body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "panic" {
+				out = append(out, posRange{call.Pos(), call.End()})
+				return true
+			}
+		}
+		if callee, _ := p.calleeOf(call); callee != nil && p.Prog.isTerminal(callee) {
+			out = append(out, posRange{call.Pos(), call.End()})
+		}
+		return true
+	})
+	return out
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+func inRanges(rs []posRange, pos token.Pos) bool {
+	for _, r := range rs {
+		if r.lo <= pos && pos < r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// hotallocFunc flags the allocating constructs in one hot-reachable
+// function body.
+func (p *Package) hotallocFunc(n *funcNode, root *types.Func) []Diagnostic {
+	var out []Diagnostic
+	exempt := p.exemptRanges(n.decl.Body)
+	where := rootLabel(n.fn, root)
+	flag := func(pos token.Pos, format string, args ...any) {
+		if inRanges(exempt, pos) {
+			return
+		}
+		d := p.diag("hotalloc", pos, format, args...)
+		d.Message += " in hot-path function " + n.fn.FullName() + " " + where
+		out = append(out, d)
+	}
+
+	ast.Inspect(n.decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			p.hotallocCall(node, flag)
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if _, ok := unparen(node.X).(*ast.CompositeLit); ok {
+					flag(node.Pos(), "heap allocation: &composite literal escapes")
+				}
+			}
+		case *ast.CompositeLit:
+			t := p.Info.TypeOf(node)
+			if t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					flag(node.Pos(), "heap allocation: slice/map composite literal")
+				}
+			}
+		case *ast.FuncLit:
+			flag(node.Pos(), "closure evaluated on the hot path allocates; bind the callback once at construction")
+			// The literal's own body still belongs to this function's
+			// budget; keep descending.
+		case *ast.DeferStmt:
+			flag(node.Pos(), "defer allocates a frame record")
+		case *ast.BinaryExpr:
+			if node.Op == token.ADD && p.isString(node) && !p.isConstExpr(node) {
+				flag(node.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if node.Tok == token.ADD_ASSIGN && len(node.Lhs) == 1 && p.isString(node.Lhs[0]) {
+				flag(node.Pos(), "string concatenation allocates")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// hotallocCall flags builtin allocators, fmt usage, and implicit interface
+// boxing of arguments in one call expression.
+func (p *Package) hotallocCall(call *ast.CallExpr, flag func(pos token.Pos, format string, args ...any)) {
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion, not a call
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch b.Name() {
+			case "new":
+				flag(call.Pos(), "heap allocation: new")
+			case "make":
+				flag(call.Pos(), "heap allocation: make")
+			case "append":
+				flag(call.Pos(), "append may grow its backing array; preallocate, or annotate audited amortized growth")
+			}
+			return
+		}
+	}
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && p.isPkgIdent(sel.X, "fmt") {
+		flag(call.Pos(), "fmt.%s boxes arguments and builds format buffers", sel.Sel.Name)
+		return
+	}
+	p.hotallocBoxing(call, flag)
+}
+
+// hotallocBoxing flags arguments implicitly boxed into interface
+// parameters. Pointer-shaped values (pointers, channels, maps, funcs) fit
+// an interface's data word without allocating and pass; everything else —
+// scalars, strings, slices, structs — escapes to the heap on conversion.
+func (p *Package) hotallocBoxing(call *ast.CallExpr, flag func(pos token.Pos, format string, args ...any)) {
+	sig, ok := p.Info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return // dynamic shape unknown, or slice passed through unboxed
+	}
+	for i, arg := range call.Args {
+		var paramT types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			last := sig.Params().At(sig.Params().Len() - 1)
+			slice, ok := last.Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			paramT = slice.Elem()
+		case i < sig.Params().Len():
+			paramT = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := paramT.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		argT := p.Info.TypeOf(arg)
+		if argT == nil || isPointerShaped(argT) {
+			continue
+		}
+		if _, already := argT.Underlying().(*types.Interface); already {
+			continue
+		}
+		if b, ok := argT.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		flag(arg.Pos(), "argument boxes into interface parameter (pass a pointer, or use a typed parameter)")
+	}
+}
+
+// isPointerShaped reports whether a value of type t fits an interface's
+// data word without a heap allocation when boxed.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// isString reports whether e has string type.
+func (p *Package) isString(e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isConstExpr reports whether e folds to a compile-time constant (constant
+// string concatenation costs nothing at run time).
+func (p *Package) isConstExpr(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}

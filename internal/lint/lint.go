@@ -5,7 +5,7 @@
 // using nothing but the standard library (go/parser, go/ast, go/token,
 // go/types — the module is dependency-free and must stay that way).
 //
-// Five analyzers ship with the pass:
+// Eight analyzers ship with the pass:
 //
 //   - nondeterminism: wall-clock reads, math/rand, order-sensitive map
 //     iteration, and goroutine spawns inside simulation-scheduled code.
@@ -16,6 +16,13 @@
 //   - floateq: ==/!= on floating-point operands outside tests.
 //   - telemetrysafety: instrument methods that dereference their receiver
 //     without the nil-guard idiom the telemetry layer is built on.
+//   - hotalloc: heap-allocating constructs in //hot:path functions and
+//     everything statically reachable from them (whole-module call graph
+//     with interface calls over-approximated by method signature).
+//   - exhaustive: switches over module enum types must cover every declared
+//     constant or carry a panicking default.
+//   - callpurity: nondeterminism sources anywhere in the call graph
+//     reachable from //hot:path roots, with no per-package allowances.
 //
 // Intentional exceptions are declared inline with a directive comment on
 // the offending line (or the line above):
@@ -71,6 +78,9 @@ func All() []*Analyzer {
 		UnitSafety(),
 		FloatEq(),
 		TelemetrySafety(),
+		Hotalloc(),
+		Exhaustive(),
+		CallPurity(),
 	}
 }
 

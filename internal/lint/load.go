@@ -21,11 +21,16 @@ import (
 // FileSet, and full go/types information.
 type Package struct {
 	ImportPath string
+	ModPath    string
 	Dir        string
 	Fset       *token.FileSet
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+
+	// Prog is the whole-module call graph shared by every package loaded by
+	// the same Loader; the reachability-based analyzers query it.
+	Prog *Program
 }
 
 // Loader resolves and type-checks packages using only the standard
@@ -38,6 +43,7 @@ type Loader struct {
 	ctx     build.Context
 	modPath string
 	modRoot string
+	prog    *Program
 
 	pkgs     map[string]*Package       // fully analyzed module packages
 	imported map[string]*types.Package // every type-checked package, by path
@@ -82,6 +88,7 @@ func NewLoader(dir string) (*Loader, error) {
 		ctx:      ctx,
 		modPath:  string(m[1]),
 		modRoot:  root,
+		prog:     newProgram(string(m[1])),
 		pkgs:     make(map[string]*Package),
 		imported: make(map[string]*types.Package),
 		loading:  make(map[string]bool),
@@ -238,14 +245,17 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 	}
 	p := &Package{
 		ImportPath: path,
+		ModPath:    l.modPath,
 		Dir:        dir,
 		Fset:       l.fset,
 		Files:      files,
 		Types:      tpkg,
 		Info:       info,
+		Prog:       l.prog,
 	}
 	l.pkgs[path] = p
 	l.imported[path] = tpkg
+	l.prog.add(p)
 	return p, nil
 }
 

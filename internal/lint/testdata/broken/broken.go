@@ -1,0 +1,9 @@
+// Package broken does not type-check: the loader must surface the checker's
+// diagnostic as an error, not panic, and must not hand a half-checked
+// package to the analyzers.
+package broken
+
+func Mismatch() int {
+	var s string = 42
+	return s + undefinedIdentifier
+}

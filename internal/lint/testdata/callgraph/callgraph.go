@@ -1,0 +1,59 @@
+// Package callgraph is the harness for the Program unit tests: a small web
+// of static calls, an interface with two implementations, a dynamic call
+// the graph must NOT follow, and a terminal panic helper.
+package callgraph
+
+// Codec is implemented twice; Encode calls through it, so both
+// implementations must become hot when Encode is.
+type Codec interface {
+	Encode(v int) int
+}
+
+// Doubler is the first Codec.
+type Doubler struct{}
+
+// Encode doubles.
+func (Doubler) Encode(v int) int { return v * 2 }
+
+// Halver is the second Codec.
+type Halver struct{}
+
+// Encode halves, via a static helper that must inherit hotness through the
+// interface edge.
+func (Halver) Encode(v int) int { return half(v) }
+
+// half is reachable only through Halver.Encode.
+func half(v int) int { return v / 2 }
+
+// Encode is the hot root: one static call, one interface call.
+//
+//hot:path
+func Encode(c Codec, v int) int {
+	return c.Encode(normalize(v))
+}
+
+// normalize is one static hop from the root.
+func normalize(v int) int {
+	if v < 0 {
+		die("negative")
+	}
+	return v
+}
+
+// die is terminal: its body ends in panic.
+func die(msg string) {
+	panic("callgraph: " + msg)
+}
+
+// Detached is never called from a root and stays cold.
+func Detached(v int) int { return v + 1 }
+
+// Indirect calls through a function value — the documented hole: the graph
+// must not claim cold() is reachable from here.
+func Indirect(f func() int) int { return f() }
+
+// cold exists to be passed as a value, never called statically.
+func cold() int { return 0 }
+
+// Use keeps cold referenced so the package compiles without dead code.
+func Use() int { return Indirect(cold) }

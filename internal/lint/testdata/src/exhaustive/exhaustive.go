@@ -1,0 +1,79 @@
+// Package exhaustive switches over a declared state type with gaps: one
+// switch misses a state outright, another hides the miss behind a silent
+// default.
+package exhaustive
+
+// Phase is the fixture's three-state machine.
+type Phase int
+
+// The declared phases.
+const (
+	PhaseIdle Phase = iota
+	PhaseActive
+	PhaseDraining
+)
+
+// Flags is a bitmask set: exempt from exhaustiveness, flags are masked,
+// not enumerated.
+type Flags uint8
+
+// The declared flag bits.
+const (
+	FlagUrgent Flags = 1 << iota
+	FlagRetransmit
+)
+
+// Missing omits PhaseDraining with no default at all.
+func Missing(p Phase) int {
+	switch p {
+	case PhaseIdle:
+		return 0
+	case PhaseActive:
+		return 1
+	}
+	return -1
+}
+
+// Silent covers the miss with a default that falls through quietly — the
+// exact drift failure the analyzer exists for.
+func Silent(p Phase) int {
+	switch p {
+	case PhaseIdle:
+		return 0
+	default:
+		return -1
+	}
+}
+
+// Guarded misses states but dies loudly on them: accepted.
+func Guarded(p Phase) int {
+	switch p {
+	case PhaseIdle, PhaseActive:
+		return 0
+	default:
+		panic("exhaustive: unhandled phase")
+	}
+}
+
+// Covered lists every constant: accepted without a default.
+func Covered(p Phase) int {
+	switch p {
+	case PhaseIdle:
+		return 0
+	case PhaseActive:
+		return 1
+	case PhaseDraining:
+		return 2
+	}
+	return -1
+}
+
+// Masked switches over a bitmask type: out of scope by the power-of-two
+// exemption.
+func Masked(f Flags) bool {
+	switch f {
+	case FlagUrgent:
+		return true
+	}
+	return false
+}

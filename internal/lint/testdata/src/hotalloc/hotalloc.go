@@ -1,0 +1,77 @@
+// Package hotalloc allocates on an annotated hot path, both in the root
+// itself and in functions it reaches statically and through an interface.
+package hotalloc
+
+import "fmt"
+
+// Event is a reused record; filling it must not allocate.
+type Event struct {
+	seq  int
+	note string
+}
+
+// Sink consumes events; Process is reached from the hot root through the
+// interface, so every implementation inherits the budget.
+type Sink interface {
+	Process(e *Event)
+}
+
+// Logger is the only Sink implementation in the fixture.
+type Logger struct {
+	lines []string
+}
+
+// Process concatenates into a fresh string — two findings deep inside an
+// interface-expanded callee.
+func (l *Logger) Process(e *Event) {
+	l.lines = append(l.lines, "seq "+e.note)
+}
+
+// Handle is the per-event root: every construct below is charged against
+// the zero-allocation budget.
+//
+//hot:path
+func Handle(s Sink, e *Event) {
+	buf := make([]byte, 64)
+	_ = buf
+	fresh := new(Event)
+	_ = fresh
+	esc := &Event{seq: e.seq}
+	_ = esc
+	pair := []int{e.seq, e.seq + 1}
+	_ = pair
+	cb := func() int { return e.seq }
+	_ = cb
+	defer release(e)
+	e.note = fmt.Sprintf("event %d", e.seq)
+	box(e.seq)
+	s.Process(e)
+	stage(e)
+}
+
+// stage is hot only by reachability from Handle.
+func stage(e *Event) {
+	//lint:allow hotalloc scratch table is rebuilt once per drain, amortized across the burst
+	scratch := make([]int, 0, 4)
+	_ = scratch
+	grow(e)
+}
+
+// grow is two static hops from the root; the append is still charged.
+func grow(e *Event) {
+	seen := []int{}
+	seen = append(seen, e.seq)
+	_ = seen
+}
+
+// box takes any, so a non-pointer argument is boxed at the call site above.
+func box(v any) { _ = v }
+
+// release pairs with the defer in Handle; its own body is clean.
+func release(e *Event) { e.seq = 0 }
+
+// Cold is not reachable from any root: the same constructs pass unflagged.
+func Cold() []int {
+	out := make([]int, 0, 8)
+	return append(out, 1)
+}

@@ -41,8 +41,11 @@ func (u unitClass) String() string {
 		return "packets"
 	case unitSegments:
 		return "segments (MSS)"
+	case unitUnknown:
+		return "unknown"
+	default:
+		panic("lint: unknown unit class")
 	}
-	return "unknown"
 }
 
 // unitSuffixes maps name endings to unit classes. Longest suffixes are

@@ -30,6 +30,7 @@ type Host struct {
 
 	uplink *Port
 	flows  map[packet.FlowID]FlowHandler
+	pool   *packet.Pool // optional packet freelist; nil = pooling off
 
 	// OnControl handles REQ packets (application requests).
 	OnControl func(pkt *packet.Packet)
@@ -61,6 +62,14 @@ func (h *Host) Scheduler() *sim.Scheduler { return h.sched }
 // SetUplink attaches the host's single output port.
 func (h *Host) SetUplink(p *Port) { h.uplink = p }
 
+// SetPool attaches a packet freelist: AllocPacket draws from it and Deliver
+// frees consumed packets back to it. Installed by Topology.EnablePacketPool.
+func (h *Host) SetPool(pool *packet.Pool) { h.pool = pool }
+
+// AllocPacket returns a zeroed packet for the transport to fill and Send.
+// With no pool attached it simply allocates.
+func (h *Host) AllocPacket() *packet.Packet { return h.pool.Get() }
+
 // Uplink returns the host's output port (nil before wiring).
 func (h *Host) Uplink() *Port { return h.uplink }
 
@@ -87,19 +96,18 @@ func (h *Host) Send(pkt *packet.Packet) {
 	h.uplink.Enqueue(pkt)
 }
 
-// Deliver demultiplexes an arriving packet.
+// Deliver demultiplexes an arriving packet. The host is the packet's final
+// owner: once the handler returns, the packet is recycled (when a pool is
+// attached), so handlers must copy out any fields they keep.
 func (h *Host) Deliver(pkt *packet.Packet) {
 	if pkt.Flags.Has(packet.FlagREQ) {
 		if h.OnControl != nil {
 			h.OnControl(pkt)
 		}
-		return
-	}
-	if fh, ok := h.flows[pkt.Flow]; ok {
+	} else if fh, ok := h.flows[pkt.Flow]; ok {
 		fh.Deliver(pkt)
-		return
-	}
-	if h.OnUnclaimed != nil {
+	} else if h.OnUnclaimed != nil {
 		h.OnUnclaimed(pkt)
 	}
+	h.pool.Put(pkt)
 }

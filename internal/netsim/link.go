@@ -46,6 +46,9 @@ type Link struct {
 	lossRate float64
 	lossRNG  *sim.RNG
 	lost     int64
+
+	pool      *packet.Pool // optional packet freelist; nil = pooling off
+	deliverFn func(any)    // deliver, bound once at construction
 }
 
 // NewLink creates a link to dst with the given rate and propagation delay.
@@ -56,8 +59,14 @@ func NewLink(sched *sim.Scheduler, dst Node, rateBps int64, delay sim.Duration) 
 	if delay < 0 {
 		panic("netsim: negative link delay")
 	}
-	return &Link{sched: sched, dst: dst, RateBps: rateBps, Delay: delay}
+	l := &Link{sched: sched, dst: dst, RateBps: rateBps, Delay: delay}
+	l.deliverFn = l.deliver
+	return l
 }
+
+// SetPool attaches a packet freelist; packets dropped by fault injection
+// are returned to it. Installed by Topology.EnablePacketPool.
+func (l *Link) SetPool(pool *packet.Pool) { l.pool = pool }
 
 // SerializationDelay returns the time to clock out bytes at the link rate.
 func (l *Link) SerializationDelay(bytes int) sim.Duration {
@@ -88,9 +97,24 @@ func (l *Link) Propagate(pkt *packet.Packet) {
 	}
 	if l.lossRate > 0 && l.lossRNG.Float64() < l.lossRate {
 		l.lost++
+		l.pool.Put(pkt)
 		return
 	}
-	l.sched.After(l.Delay, func() { l.dst.Deliver(pkt) })
+	// Arg-carrying schedule with the once-bound deliverFn: several packets
+	// can be propagating on the same link concurrently, and none of them
+	// costs a closure.
+	l.sched.AfterArg(l.Delay, l.deliverFn, pkt)
+}
+
+// deliver hands a propagated packet to the destination node. It runs as a
+// scheduler callback — invisible to the static call graph — so it is a hot
+// root itself; everything per-packet downstream (switch forwarding, host
+// demux, TCP ACK processing, congestion control) inherits the budget from
+// here.
+//
+//hot:path
+func (l *Link) deliver(arg any) {
+	l.dst.Deliver(arg.(*packet.Packet))
 }
 
 // Dst returns the node at the receiving end of the link.

@@ -97,10 +97,18 @@ type Port struct {
 	link  *Link
 	cfg   PortConfig
 
-	queue  []*packet.Packet
+	// q is a power-of-two ring buffer holding the FIFO: qLen packets
+	// starting at qHead. A ring (instead of append/slice-off) keeps the
+	// backing array at its high-water capacity, so steady-state
+	// enqueue/dequeue never allocates.
+	q      []*packet.Packet
+	qHead  int
+	qLen   int
 	qBytes int
 	busy   bool
 	rng    *sim.RNG
+	pool   *packet.Pool // optional packet freelist; nil = pooling off
+	txFn   func(any)    // transmitDone, bound once at construction
 
 	// Phantom queue state (MarkPhantomQueue).
 	vqBytes  float64
@@ -146,7 +154,46 @@ func NewPort(sched *sim.Scheduler, link *Link, cfg PortConfig) *Port {
 			panic("netsim: phantom threshold must be positive")
 		}
 	}
-	return &Port{sched: sched, link: link, cfg: cfg, rng: sim.NewRNG(cfg.Seed ^ 0x9047)}
+	p := &Port{sched: sched, link: link, cfg: cfg, rng: sim.NewRNG(cfg.Seed ^ 0x9047)}
+	p.txFn = p.transmitDone
+	return p
+}
+
+// SetPool attaches a packet freelist; tail-dropped packets are returned to
+// it. Installed by Topology.EnablePacketPool.
+func (p *Port) SetPool(pool *packet.Pool) { p.pool = pool }
+
+// push appends a packet at the tail of the ring, growing it when full.
+func (p *Port) push(pkt *packet.Packet) {
+	if p.qLen == len(p.q) {
+		p.grow()
+	}
+	p.q[(p.qHead+p.qLen)&(len(p.q)-1)] = pkt
+	p.qLen++
+}
+
+// pop removes and returns the head-of-line packet. Caller checks qLen > 0.
+func (p *Port) pop() *packet.Packet {
+	pkt := p.q[p.qHead]
+	p.q[p.qHead] = nil
+	p.qHead = (p.qHead + 1) & (len(p.q) - 1)
+	p.qLen--
+	return pkt
+}
+
+// grow doubles the ring, unwrapping the queue to the front.
+func (p *Port) grow() {
+	n := 2 * len(p.q)
+	if n == 0 {
+		n = 16
+	}
+	//lint:allow hotalloc ring growth is amortized: capacity doubles to the queue's high-water mark and is then reused forever
+	nq := make([]*packet.Packet, n)
+	for i := 0; i < p.qLen; i++ {
+		nq[i] = p.q[(p.qHead+i)&(len(p.q)-1)]
+	}
+	p.q = nq
+	p.qHead = 0
 }
 
 // phantomUpdate drains the virtual queue for elapsed time and adds the
@@ -172,6 +219,8 @@ func (p *Port) PhantomQueueBytes() float64 { return p.vqBytes }
 // occupancy seen by an arriving packet.
 func (p *Port) shouldMark(qBytes int) bool {
 	switch p.cfg.Policy {
+	case MarkInstantaneous:
+		return p.cfg.MarkThresholdBytes > 0 && qBytes > p.cfg.MarkThresholdBytes
 	case MarkREDLinear:
 		switch {
 		case qBytes <= p.cfg.REDMinBytes:
@@ -188,7 +237,7 @@ func (p *Port) shouldMark(qBytes int) bool {
 		// before calling shouldMark; qBytes (the real queue) is unused.
 		return p.vqBytes > float64(p.cfg.PhantomThresholdBytes)
 	default:
-		return p.cfg.MarkThresholdBytes > 0 && qBytes > p.cfg.MarkThresholdBytes
+		panic("netsim: unknown mark policy")
 	}
 }
 
@@ -207,7 +256,7 @@ func (p *Port) AttachTelemetry(reg *telemetry.Registry, labels ...telemetry.Labe
 func (p *Port) QueueBytes() int { return p.qBytes }
 
 // QueueLen returns the number of queued packets.
-func (p *Port) QueueLen() int { return len(p.queue) }
+func (p *Port) QueueLen() int { return p.qLen }
 
 // Stats returns a snapshot of the port counters.
 func (p *Port) Stats() PortStats { return p.stats }
@@ -222,6 +271,8 @@ func (p *Port) Link() *Link { return p.link }
 // hold it, the packet is dropped (tail drop). If the instantaneous queue
 // occupancy exceeds the marking threshold K and the packet is ECN-capable,
 // its codepoint is set to CE.
+//
+//hot:path
 func (p *Port) Enqueue(pkt *packet.Packet) {
 	size := pkt.Size()
 	if p.qBytes+size > p.cfg.BufferBytes {
@@ -231,6 +282,7 @@ func (p *Port) Enqueue(pkt *packet.Packet) {
 		if p.OnDrop != nil {
 			p.OnDrop(pkt)
 		}
+		p.pool.Put(pkt)
 		return
 	}
 	// Marking rule: evaluate the discipline against the queue length seen
@@ -247,7 +299,7 @@ func (p *Port) Enqueue(pkt *packet.Packet) {
 		p.stats.MarkedPkts++
 		p.mMarked.Add(1)
 	}
-	p.queue = append(p.queue, pkt)
+	p.push(pkt)
 	p.qBytes += size
 	check.AtMost("netsim.port queue bytes", int64(p.qBytes), int64(p.cfg.BufferBytes))
 	p.stats.EnqueuedPkts++
@@ -269,14 +321,12 @@ func (p *Port) Enqueue(pkt *packet.Packet) {
 // port busy for its serialization time, then hands it to the link for
 // propagation and continues with the next queued packet.
 func (p *Port) transmitNext() {
-	if len(p.queue) == 0 {
+	if p.qLen == 0 {
 		p.busy = false
 		return
 	}
 	p.busy = true
-	pkt := p.queue[0]
-	p.queue[0] = nil
-	p.queue = p.queue[1:]
+	pkt := p.pop()
 	size := pkt.Size()
 	p.qBytes -= size
 	check.NonNegative("netsim.port queue bytes", int64(p.qBytes))
@@ -288,8 +338,18 @@ func (p *Port) transmitNext() {
 	if p.OnTransmit != nil {
 		p.OnTransmit(pkt)
 	}
-	p.sched.After(p.link.SerializationDelay(size), func() {
-		p.link.Propagate(pkt)
-		p.transmitNext()
-	})
+	// Arg-carrying schedule with the once-bound txFn: the per-packet path
+	// creates no closure (a fresh closure capturing pkt would allocate).
+	p.sched.AfterArg(p.link.SerializationDelay(size), p.txFn, pkt)
+}
+
+// transmitDone fires when the head-of-line packet finishes serializing:
+// hand it to the link for propagation and start on the next packet. It runs
+// as a scheduler callback, which the call graph cannot see through — so it
+// is a hot root in its own right.
+//
+//hot:path
+func (p *Port) transmitDone(arg any) {
+	p.link.Propagate(arg.(*packet.Packet))
+	p.transmitNext()
 }

@@ -72,6 +72,25 @@ func trunk(sched *sim.Scheduler, a, b *Switch, cfg TopologyConfig) (ab, ba *Port
 	return ab, ba
 }
 
+// enablePool wires one shared packet freelist through every element of a
+// topology that allocates or consumes packets: hosts (mint on send, free on
+// delivery), ports (free on tail drop), and links (free on injected loss).
+func enablePool(pool *packet.Pool, hosts []*Host, switches []*Switch) {
+	for _, h := range hosts {
+		h.SetPool(pool)
+		if up := h.Uplink(); up != nil {
+			up.SetPool(pool)
+			up.Link().SetPool(pool)
+		}
+	}
+	for _, sw := range switches {
+		for _, p := range sw.Ports() {
+			p.SetPool(pool)
+			p.Link().SetPool(pool)
+		}
+	}
+}
+
 // Star is a single-switch topology: N hosts on one switch. Used for unit
 // tests and micro-benchmarks of the transport.
 type Star struct {
@@ -90,6 +109,15 @@ func NewStar(sched *sim.Scheduler, n int, cfg TopologyConfig) *Star {
 		st.Hosts = append(st.Hosts, h)
 	}
 	return st
+}
+
+// EnablePacketPool turns on packet recycling across the whole star and
+// returns the shared pool. Call after wiring, before traffic. Handlers
+// must then not retain delivered packets beyond their callback.
+func (st *Star) EnablePacketPool() *packet.Pool {
+	pool := &packet.Pool{}
+	enablePool(pool, st.Hosts, []*Switch{st.Switch})
+	return pool
 }
 
 // TwoTier is the paper's experimental topology (Fig. 5): a root switch
@@ -156,6 +184,21 @@ func NewTwoTier(sched *sim.Scheduler, leaves, hostsPerLeaf int, cfg TopologyConf
 	// Root routes to aggregator already installed by connect; worker routes
 	// installed above.
 	return tt
+}
+
+// EnablePacketPool turns on packet recycling across the whole tree and
+// returns the shared pool. Call after wiring, before traffic. Handlers
+// must then not retain delivered packets beyond their callback.
+func (tt *TwoTier) EnablePacketPool() *packet.Pool {
+	hosts := make([]*Host, 0, len(tt.Workers)+1)
+	hosts = append(hosts, tt.Aggregator)
+	hosts = append(hosts, tt.Workers...)
+	switches := make([]*Switch, 0, len(tt.Leaves)+1)
+	switches = append(switches, tt.Root)
+	switches = append(switches, tt.Leaves...)
+	pool := &packet.Pool{}
+	enablePool(pool, hosts, switches)
+	return pool
 }
 
 // PipelineCapacityBytes computes the paper's Pipeline Capacity C x D + B

@@ -118,6 +118,9 @@ type Packet struct {
 
 	// hops counts forwarding steps, to catch routing loops in tests.
 	hops int
+
+	// nextFree links recycled packets inside a Pool.
+	nextFree *Packet
 }
 
 // Size returns the on-wire size in bytes: payload plus header overhead.

@@ -1,0 +1,66 @@
+package packet
+
+// Pool is an optional freelist of Packet objects for steady-state
+// simulations. The network layer frees a packet back to the pool at the
+// points where it leaves the simulation — delivered to a host's transport
+// handler, tail-dropped at a port, or lost on a link — and transports mint
+// new segments from the pool, so a long run recirculates a small working
+// set instead of feeding the garbage collector per packet.
+//
+// Pooling is opt-in (Topology.EnablePacketPool) because it sharpens the
+// ownership contract: once a packet is handed to the network, the sender
+// must not touch it again, and a delivery handler must copy out any fields
+// it needs before returning. All shipped transports and taps obey this;
+// tests that deliberately retain packets simply leave the pool disabled.
+//
+// A nil *Pool is valid: Get mints fresh packets and Put discards, so call
+// sites need no branches.
+type Pool struct {
+	free     *Packet
+	minted   int64
+	recycled int64
+}
+
+// Get returns a zeroed packet, reusing a freed one when available.
+//
+//hot:path
+func (p *Pool) Get() *Packet {
+	if p == nil || p.free == nil {
+		if p != nil {
+			p.minted++
+		}
+		//lint:allow hotalloc pool miss mints a fresh packet; steady state reuses the freed working set (and a nil pool means pooling is off by choice)
+		return &Packet{}
+	}
+	pkt := p.free
+	p.free = pkt.nextFree
+	pkt.nextFree = nil
+	p.recycled++
+	return pkt
+}
+
+// Put recycles a packet the caller no longer owns. The packet is zeroed so
+// stale header fields, flags, and hop counts cannot leak into its next use.
+func (p *Pool) Put(pkt *Packet) {
+	if p == nil || pkt == nil {
+		return
+	}
+	*pkt = Packet{nextFree: p.free}
+	p.free = pkt
+}
+
+// Minted returns how many packets were freshly allocated on pool miss.
+func (p *Pool) Minted() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.minted
+}
+
+// Recycled returns how many Gets were served from the freelist.
+func (p *Pool) Recycled() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.recycled
+}

@@ -67,3 +67,34 @@ func BenchmarkRNGExp(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestSchedulerAllocBudget pins the engine's steady-state budget at zero:
+// once the event freelist is primed, churn (fire + reschedule), timer
+// rearming and cancellation all recycle Event objects instead of minting
+// new ones.
+func TestSchedulerAllocBudget(t *testing.T) {
+	s := NewScheduler()
+	var fn func()
+	fn = func() { s.After(10, fn) }
+	for i := 0; i < 64; i++ {
+		s.After(Duration(i), fn)
+	}
+	for i := 0; i < 128; i++ {
+		s.Step()
+	}
+	if got := testing.AllocsPerRun(500, func() { s.Step() }); got != 0 {
+		t.Fatalf("Step allocates %.1f times per event, want 0", got)
+	}
+
+	tm := NewTimer(s, func() {})
+	tm.Reset(Second)
+	if got := testing.AllocsPerRun(500, func() { tm.Reset(Second) }); got != 0 {
+		t.Fatalf("Timer.Reset allocates %.1f times per rearm, want 0", got)
+	}
+
+	noop := func() {}
+	s.Cancel(s.After(Second, noop)) // prime the one extra freelist slot
+	if got := testing.AllocsPerRun(500, func() { s.Cancel(s.After(Second, noop)) }); got != 0 {
+		t.Fatalf("schedule+cancel allocates %.1f times per cycle, want 0", got)
+	}
+}

@@ -1,17 +1,26 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Event is a scheduled callback. Events are created through
-// Scheduler.At/After and may be cancelled before they fire.
+// Scheduler.At/After (or their arg-carrying variants) and may be cancelled
+// before they fire.
+//
+// Handle lifetime: a *Event returned by the scheduler is live until it
+// fires or is cancelled, after which the scheduler recycles the object for
+// a future event. A dead handle must therefore not be passed to Cancel
+// once any later event may have been scheduled — owners that re-arm (the
+// Timer, the sender's pacing gate) clear their handle field as the first
+// action of the callback, which is the idiom this contract is built for.
+// Cancelling a dead handle before any reuse remains a harmless no-op.
 type Event struct {
 	when Time
 	seq  uint64 // tie-breaker: FIFO among events at the same instant
 	fn   func()
-	idx  int // heap index, -1 once removed
+	afn  func(any) // arg-carrying callback (exactly one of fn/afn is set)
+	arg  any
+	idx  int    // heap index, -1 once removed
+	next *Event // freelist link while recycled
 }
 
 // When returns the virtual time at which the event is (or was) due.
@@ -21,46 +30,22 @@ func (e *Event) When() Time { return e.when }
 // either by firing or by an explicit Cancel.
 func (e *Event) Cancelled() bool { return e.idx < 0 }
 
-// eventQueue implements heap.Interface ordered by (when, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*q = old[:n-1]
-	return e
-}
-
 // Scheduler is the discrete-event core: a virtual clock plus a priority
 // queue of pending events. It is single-threaded by design — the entire
 // simulation advances by popping the earliest event and running its
 // callback, which may schedule further events.
+//
+// The event queue is an inline binary heap ordered by (when, seq), and
+// fired or cancelled events are recycled through a freelist, so the
+// steady-state schedule/fire cycle — the per-packet inner loop of every
+// experiment — allocates nothing.
 type Scheduler struct {
 	now     Time
-	queue   eventQueue
+	queue   []*Event // binary heap by (when, seq)
 	nextSeq uint64
 	fired   uint64
 	halted  bool
+	free    *Event // recycled events
 }
 
 // NewScheduler returns an empty scheduler positioned at the epoch.
@@ -77,16 +62,53 @@ func (s *Scheduler) Pending() int { return len(s.queue) }
 // Fired returns the total number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
-// At schedules fn to run at time t and returns a cancellable handle.
-// Scheduling in the past panics: it always indicates a model bug.
-func (s *Scheduler) At(t Time, fn func()) *Event {
+// alloc takes an event from the freelist, minting a new one only when the
+// pool is dry — after warm-up the live set reaches its high-water mark and
+// every schedule reuses a fired event.
+//
+//hot:path
+func (s *Scheduler) alloc() *Event {
+	if e := s.free; e != nil {
+		s.free = e.next
+		e.next = nil
+		return e
+	}
+	//lint:allow hotalloc event pool growth is amortized: the freelist reaches the backlog's high-water mark and then every schedule reuses a fired event
+	return &Event{}
+}
+
+// release recycles a fired or cancelled event. Callback and argument are
+// cleared so the freelist does not pin dead objects.
+func (s *Scheduler) release(e *Event) {
+	e.fn = nil
+	e.afn = nil
+	e.arg = nil
+	e.idx = -1
+	e.next = s.free
+	s.free = e
+}
+
+// schedule inserts a prepared event into the heap.
+func (s *Scheduler) schedule(e *Event, t Time) *Event {
 	if t < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
 	}
-	e := &Event{when: t, seq: s.nextSeq, fn: fn}
+	e.when = t
+	e.seq = s.nextSeq
 	s.nextSeq++
-	heap.Push(&s.queue, e)
+	e.idx = len(s.queue)
+	//lint:allow hotalloc heap growth is amortized: the backing array reaches the event backlog's high-water mark and is then reused
+	s.queue = append(s.queue, e)
+	s.up(e.idx)
 	return e
+}
+
+// At schedules fn to run at time t and returns a cancellable handle.
+// Scheduling in the past panics: it always indicates a model bug.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	e := s.alloc()
+	e.fn = fn
+	return s.schedule(e, t)
 }
 
 // After schedules fn to run d after the current time.
@@ -97,24 +119,118 @@ func (s *Scheduler) After(d Duration, fn func()) *Event {
 	return s.At(s.now.Add(d), fn)
 }
 
-// Cancel removes a pending event so it never fires. Cancelling an event that
-// has already fired or been cancelled is a harmless no-op, which lets timer
-// owners cancel unconditionally.
+// AtArg schedules fn(arg) to run at time t. Binding the argument in the
+// event instead of a closure lets per-packet callers (the port's
+// serialization completion, the link's propagation delivery) schedule with
+// a callback constructed once at wiring time: passing a pointer through
+// arg does not allocate, while capturing it in a fresh closure would.
+func (s *Scheduler) AtArg(t Time, fn func(any), arg any) *Event {
+	e := s.alloc()
+	e.afn = fn
+	e.arg = arg
+	return s.schedule(e, t)
+}
+
+// AfterArg schedules fn(arg) to run d after the current time.
+func (s *Scheduler) AfterArg(d Duration, fn func(any), arg any) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.AtArg(s.now.Add(d), fn, arg)
+}
+
+// Cancel removes a pending event so it never fires. Cancelling nil or an
+// event that has already fired or been cancelled is a harmless no-op (as
+// long as the handle has not been recycled — see the Event contract),
+// which lets timer owners cancel unconditionally.
 func (s *Scheduler) Cancel(e *Event) {
 	if e == nil || e.idx < 0 {
 		return
 	}
-	heap.Remove(&s.queue, e.idx)
-	e.idx = -1
+	i := e.idx
+	last := len(s.queue) - 1
+	if i != last {
+		s.queue[i] = s.queue[last]
+		s.queue[i].idx = i
+	}
+	s.queue[last] = nil
+	s.queue = s.queue[:last]
+	if i != last {
+		if !s.up(i) {
+			s.down(i)
+		}
+	}
+	s.release(e)
+}
+
+// less orders the heap by (when, seq).
+func (s *Scheduler) less(i, j int) bool {
+	a, b := s.queue[i], s.queue[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// swap exchanges two heap slots, maintaining the events' indices.
+func (s *Scheduler) swap(i, j int) {
+	s.queue[i], s.queue[j] = s.queue[j], s.queue[i]
+	s.queue[i].idx = i
+	s.queue[j].idx = j
+}
+
+// up sifts the element at i toward the root; it reports whether it moved.
+func (s *Scheduler) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+// down sifts the element at i toward the leaves.
+func (s *Scheduler) down(i int) {
+	n := len(s.queue)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && s.less(right, left) {
+			least = right
+		}
+		if !s.less(least, i) {
+			return
+		}
+		s.swap(i, least)
+		i = least
+	}
 }
 
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It reports whether an event was executed.
+//
+//hot:path
 func (s *Scheduler) Step() bool {
 	if len(s.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&s.queue).(*Event)
+	e := s.queue[0]
+	last := len(s.queue) - 1
+	s.queue[0] = s.queue[last]
+	s.queue[0].idx = 0
+	s.queue[last] = nil
+	s.queue = s.queue[:last]
+	if last > 0 {
+		s.down(0)
+	}
 	// Monotone-clock invariant, asserted inline because internal/check
 	// imports this package: At() rejects past scheduling at insertion, and
 	// this guards the pop side against heap corruption.
@@ -123,7 +239,15 @@ func (s *Scheduler) Step() bool {
 	}
 	s.now = e.when
 	s.fired++
-	e.fn()
+	// Recycle before running: the callback commonly schedules a successor,
+	// which then reuses this very event object.
+	fn, afn, arg := e.fn, e.afn, e.arg
+	s.release(e)
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
 	return true
 }
 
@@ -153,34 +277,38 @@ func (s *Scheduler) Halt() { s.halted = true }
 
 // Timer is a restartable one-shot timer bound to a scheduler, in the style
 // of kernel timers: Reset re-arms it (replacing any pending expiry), Stop
-// disarms it. The callback is fixed at construction.
+// disarms it. The callback is fixed at construction, and so is the wrapper
+// that clears the pending-event handle — re-arming (the per-ACK RTO reset)
+// allocates nothing.
 type Timer struct {
-	s  *Scheduler
-	fn func()
-	ev *Event
+	s    *Scheduler
+	fn   func()
+	wrap func()
+	ev   *Event
 }
 
 // NewTimer creates a disarmed timer that will invoke fn on expiry.
 func NewTimer(s *Scheduler, fn func()) *Timer {
-	return &Timer{s: s, fn: fn}
+	t := &Timer{s: s, fn: fn}
+	t.wrap = func() {
+		t.ev = nil
+		t.fn()
+	}
+	return t
 }
 
 // Reset (re-)arms the timer to fire d from now.
+//
+//hot:path
 func (t *Timer) Reset(d Duration) {
 	t.s.Cancel(t.ev)
-	t.ev = t.s.After(d, func() {
-		t.ev = nil
-		t.fn()
-	})
+	t.ev = t.s.After(d, t.wrap)
 }
 
 // ResetAt (re-)arms the timer to fire at absolute time at.
 func (t *Timer) ResetAt(at Time) {
 	t.s.Cancel(t.ev)
-	t.ev = t.s.At(at, func() {
-		t.ev = nil
-		t.fn()
-	})
+	t.ev = t.s.At(at, t.wrap)
 }
 
 // Stop disarms the timer if it is pending.

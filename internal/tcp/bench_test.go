@@ -16,6 +16,7 @@ func BenchmarkBulkTransfer(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := sim.NewScheduler()
 		star := netsim.NewStar(s, 2, netsim.DefaultTopologyConfig())
+		star.EnablePacketPool()
 		cfg := DefaultConfig()
 		cfg.MaxCwnd = 64
 		c := NewConn(cfg, NewReno{}, star.Hosts[0], star.Hosts[1], 1)
@@ -33,6 +34,7 @@ func BenchmarkManyFlows(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := sim.NewScheduler()
 		tt := netsim.NewTwoTier(s, 3, 3, netsim.DefaultTopologyConfig())
+		tt.EnablePacketPool()
 		done := 0
 		for f := 0; f < 64; f++ {
 			cfg := DefaultConfig()
@@ -47,5 +49,65 @@ func BenchmarkManyFlows(b *testing.B) {
 		if done != 64 {
 			b.Fatalf("completed %d/64", done)
 		}
+	}
+}
+
+// TestTransferAllocBudget pins the transport's steady-state alloc budget at
+// zero: after one warm-up transfer has minted the pool packets, grown the
+// scheduler's event freelist and the receiver's reassembly buffer, every
+// further transfer — data transmission, ACK processing, cwnd updates, RTO
+// arming, pacing — runs without a single heap allocation.
+func TestTransferAllocBudget(t *testing.T) {
+	s := sim.NewScheduler()
+	star := netsim.NewStar(s, 2, netsim.DefaultTopologyConfig())
+	pool := star.EnablePacketPool()
+	cfg := DefaultConfig()
+	cfg.MaxCwnd = 64
+	c := NewConn(cfg, NewReno{}, star.Hosts[0], star.Hosts[1], 1)
+
+	transfer := func() {
+		c.Sender.Send(64 << 10)
+		s.Run()
+	}
+	for i := 0; i < 4; i++ {
+		transfer()
+	}
+	if !c.Sender.Done() {
+		t.Fatal("warm-up transfers incomplete")
+	}
+	if got := testing.AllocsPerRun(20, transfer); got != 0 {
+		t.Fatalf("steady-state transfer allocates %.1f times per 64KB, want 0", got)
+	}
+	if pool.Minted() > 256 {
+		t.Fatalf("pool minted %d packets for a 64-segment window", pool.Minted())
+	}
+}
+
+// TestAckPathAllocBudget isolates the pure-ACK receive path: delivering an
+// acknowledgement that does not open the window (everything already acked)
+// still walks Sender.Deliver, the congestion module's OnAck and the pacing
+// pump, and must not allocate.
+func TestAckPathAllocBudget(t *testing.T) {
+	s := sim.NewScheduler()
+	star := netsim.NewStar(s, 2, netsim.DefaultTopologyConfig())
+	star.EnablePacketPool()
+	c := NewConn(DefaultConfig(), NewReno{}, star.Hosts[0], star.Hosts[1], 1)
+	c.Sender.Send(64 << 10)
+	s.Run()
+	if !c.Sender.Done() {
+		t.Fatal("warm-up transfer incomplete")
+	}
+
+	var ack packet.Packet
+	ack.Src, ack.Dst = star.Hosts[1].ID(), star.Hosts[0].ID()
+	ack.Flow = 1
+	ack.Flags = packet.FlagACK
+	deliver := func() {
+		ack.AckNo = c.Sender.stats.SentBytes // == sndUna: a pure duplicate
+		c.Sender.Deliver(&ack)
+	}
+	deliver()
+	if got := testing.AllocsPerRun(100, deliver); got != 0 {
+		t.Fatalf("ACK path allocates %.1f times per ACK, want 0", got)
 	}
 }

@@ -99,6 +99,8 @@ func (r *Receiver) Deliver(pkt *packet.Packet) {
 		r.stats.CEMarskSeen++
 	}
 	switch r.cfg.ECN {
+	case ECNOff:
+		// No ECN negotiation: marks (which should not occur) are ignored.
 	case ECNClassic:
 		// RFC 3168: CWR from the sender clears the latch; a CE mark sets
 		// it. Process CWR first so a marked CWR segment re-latches.
@@ -120,6 +122,8 @@ func (r *Receiver) Deliver(pkt *packet.Packet) {
 			}
 			r.ceState = ce
 		}
+	default:
+		panic("tcp: unknown ECN mode")
 	}
 
 	seq, end := pkt.Seq, pkt.End()
@@ -169,43 +173,57 @@ func (r *Receiver) Deliver(pkt *packet.Packet) {
 func (r *Receiver) advanceTo(end int64) int64 {
 	old := r.rcvNxt
 	r.rcvNxt = end
-	for len(r.ooo) > 0 && r.ooo[0].lo <= r.rcvNxt {
-		if r.ooo[0].hi > r.rcvNxt {
-			r.rcvNxt = r.ooo[0].hi
+	drop := 0
+	for drop < len(r.ooo) && r.ooo[drop].lo <= r.rcvNxt {
+		if r.ooo[drop].hi > r.rcvNxt {
+			r.rcvNxt = r.ooo[drop].hi
 		}
-		r.ooo = r.ooo[1:]
+		drop++
+	}
+	if drop > 0 {
+		// Copy down instead of re-slicing the front off: the backing array
+		// keeps its high-water capacity, so reassembly churn never allocates
+		// in steady state.
+		n := copy(r.ooo, r.ooo[drop:])
+		r.ooo = r.ooo[:n]
 	}
 	return r.rcvNxt - old
 }
 
-// insertOOO merges [lo, hi) into the sorted disjoint interval set.
+// insertOOO merges [lo, hi) into the sorted disjoint interval set, in
+// place: intervals overlapping or touching the new range collapse into one,
+// and the slice only grows (amortized) when a genuinely new hole appears.
 func (r *Receiver) insertOOO(lo, hi int64) {
-	out := r.ooo[:0:0]
-	placed := false
-	for _, iv := range r.ooo {
-		switch {
-		case iv.hi < lo:
-			out = append(out, iv)
-		case hi < iv.lo:
-			if !placed {
-				out = append(out, interval{lo, hi})
-				placed = true
-			}
-			out = append(out, iv)
-		default:
-			// Overlapping or touching: absorb into the candidate.
-			if iv.lo < lo {
-				lo = iv.lo
-			}
-			if iv.hi > hi {
-				hi = iv.hi
-			}
+	n := len(r.ooo)
+	// [i, j) is the window of existing intervals that overlap or touch
+	// [lo, hi); everything before i lies strictly below, everything from j
+	// on strictly above.
+	i := 0
+	for i < n && r.ooo[i].hi < lo {
+		i++
+	}
+	j := i
+	for j < n && r.ooo[j].lo <= hi {
+		if r.ooo[j].lo < lo {
+			lo = r.ooo[j].lo
 		}
+		if r.ooo[j].hi > hi {
+			hi = r.ooo[j].hi
+		}
+		j++
 	}
-	if !placed {
-		out = append(out, interval{lo, hi})
+	if i == j {
+		// Disjoint from everything: open a slot at i.
+		//lint:allow hotalloc reassembly-buffer growth is amortized: capacity tracks the high-water hole count and is then reused
+		r.ooo = append(r.ooo, interval{})
+		copy(r.ooo[i+1:], r.ooo[i:])
+		r.ooo[i] = interval{lo, hi}
+		return
 	}
-	r.ooo = out
+	// Replace the window with the single merged interval and close the gap.
+	r.ooo[i] = interval{lo, hi}
+	copy(r.ooo[i+1:], r.ooo[j:])
+	r.ooo = r.ooo[:n-(j-i)+1]
 }
 
 // sendAck emits a cumulative ACK reflecting the current ECN echo state and
@@ -213,6 +231,8 @@ func (r *Receiver) insertOOO(lo, hi int64) {
 func (r *Receiver) sendAck() {
 	flags := packet.FlagACK
 	switch r.cfg.ECN {
+	case ECNOff:
+		// Plain cumulative ACK; there is no echo state to reflect.
 	case ECNClassic:
 		if r.eceLatch {
 			flags |= packet.FlagECE
@@ -221,15 +241,19 @@ func (r *Receiver) sendAck() {
 		if r.ceState {
 			flags |= packet.FlagECE
 		}
+	default:
+		panic("tcp: unknown ECN mode")
 	}
 	r.pendingSegs = 0
 	r.delackTimer.Stop()
 	r.stats.AcksOut++
-	r.host.Send(&packet.Packet{
-		Dst:      r.peer,
-		Flow:     r.flow,
-		AckNo:    r.rcvNxt,
-		Flags:    flags,
-		SendTime: r.sched.Now(),
-	})
+	// Minted from the host's pool (a plain allocation when pooling is off);
+	// AllocPacket returns a zeroed packet, so only the live fields are set.
+	pkt := r.host.AllocPacket()
+	pkt.Dst = r.peer
+	pkt.Flow = r.flow
+	pkt.AckNo = r.rcvNxt
+	pkt.Flags = flags
+	pkt.SendTime = r.sched.Now()
+	r.host.Send(pkt)
 }

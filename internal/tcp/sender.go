@@ -112,6 +112,7 @@ type Sender struct {
 	headWaitedFrom sim.Time     // when the head packet became eligible; -1 when none
 	headGap        sim.Duration // pacing draw cached for the waiting head packet
 	sendEv         *sim.Event
+	pumpFn         func() // pacing-gate callback, bound once at construction
 	rtxPending     bool
 
 	stats SenderStats
@@ -157,6 +158,10 @@ func NewSender(cfg Config, cc CongestionControl, host *netsim.Host, peer packet.
 	}
 	s.rtt = newRTTEstimator(cfg)
 	s.rtoTimer = sim.NewTimer(s.sched, s.onRTO)
+	s.pumpFn = func() {
+		s.sendEv = nil
+		s.pump()
+	}
 	host.Register(flow, netsim.FlowHandlerFunc(s.Deliver))
 	cc.Init(s)
 	return s
@@ -323,10 +328,9 @@ func (s *Sender) pump() {
 			}
 			if allowed.After(now) {
 				if s.sendEv == nil {
-					s.sendEv = s.sched.At(allowed, func() {
-						s.sendEv = nil
-						s.pump()
-					})
+					// Once-bound pumpFn: arming the pacing gate on the
+					// per-packet path costs no closure.
+					s.sendEv = s.sched.At(allowed, s.pumpFn)
 				}
 				return
 			}
@@ -360,14 +364,15 @@ func (s *Sender) segSize(seq int64) int {
 // transmit builds and sends one data segment.
 func (s *Sender) transmit(seq int64, payload int, rtx bool) {
 	now := s.sched.Now()
-	pkt := &packet.Packet{
-		Dst:        s.peer,
-		Flow:       s.flow,
-		Seq:        seq,
-		Payload:    payload,
-		SendTime:   now,
-		Retransmit: rtx,
-	}
+	// Minted from the host's pool (a plain allocation when pooling is off);
+	// AllocPacket returns a zeroed packet, so only the live fields are set.
+	pkt := s.host.AllocPacket()
+	pkt.Dst = s.peer
+	pkt.Flow = s.flow
+	pkt.Seq = seq
+	pkt.Payload = payload
+	pkt.SendTime = now
+	pkt.Retransmit = rtx
 	if s.cfg.ECN != ECNOff {
 		pkt.ECN = packet.ECT
 	}
@@ -613,6 +618,12 @@ func (s *Sender) enterRecovery() {
 
 // onRTO handles a retransmission timeout: classify it (FLoss vs LAck),
 // collapse the window to 1 MSS, and go-back-N from sndUna in slow start.
+// Timer callbacks are dynamic calls the call graph cannot follow, so the
+// handler is annotated as a hot root directly: with tens of thousands of
+// concurrent flows, RTO processing is itself a mass event (the paper's
+// LAck-timeout storms), and may not allocate per firing.
+//
+//hot:path
 func (s *Sender) onRTO() {
 	if s.InflightBytes() <= 0 {
 		return // spurious: everything acknowledged while timer fired
