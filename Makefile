@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fmt-check lint check bench alloc-check baseline clean
+.PHONY: all build vet test race fmt-check lint check bench alloc-check fault-smoke baseline clean
 
 all: check
 
@@ -33,7 +33,14 @@ fmt-check:
 lint:
 	$(GO) run ./cmd/simlint ./...
 
-check: build vet fmt-check lint race
+check: build vet fmt-check lint race fault-smoke
+
+# Fault-injection smoke: a full-mix faulted sweep must complete, stay
+# deterministic, conserve every packet/byte, and keep DCTCP+ no worse than
+# DCTCP per fault class (the resilience gate behind EXPERIMENTS.md).
+fault-smoke:
+	$(GO) test -run 'Faulted|Conservation|Resilience|RequestRetry' \
+		./internal/fault ./internal/exp ./internal/workload
 
 # Benchmarks with the alloc column: the sim, netsim and tcp hot paths must
 # report 0 allocs/op (the AllocsPerRun tests in those packages pin it).

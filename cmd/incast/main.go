@@ -10,6 +10,7 @@
 //	incast -protocols dctcp+,dctcp,tcp -flows 20,60,120,200        # Fig. 7
 //	incast -protocols dctcp,tcp -rtomin 10ms -flows 20,60,120,200  # Fig. 8
 //	incast -protocols dctcp+ -flows 200 -rounds 1000               # paper scale
+//	incast -protocols dctcp+,dctcp -flows 150 -faults all          # resilience
 package main
 
 import (
@@ -37,10 +38,19 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "experiment seed")
 		telOut = flag.String("telemetry", "",
 			"write the sweep's instrument dump to this file as JSON lines")
+		faults = flag.String("faults", "",
+			"inject faults of these classes (comma-separated: blackout,loss,rate,delay,buffer,stall; \"all\" for every class; empty disables)")
+		faultSeed = flag.Uint64("faultseed", 1, "seed of the fault-plan generator")
 	)
 	flag.Parse()
 
 	if err := validateFlags(*rounds, *warmup, *total, *per, *rtoMin, *jitter); err != nil {
+		fmt.Fprintln(os.Stderr, "incast:", err)
+		os.Exit(2)
+	}
+
+	gen, err := parseFaultGen(*faults, *faultSeed)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "incast:", err)
 		os.Exit(2)
 	}
@@ -72,6 +82,7 @@ func main() {
 		o.Testbed.ServiceJitter = dcp.Duration(*jitter)
 		o.Testbed.Seed = *seed
 		o.Telemetry = reg
+		o.Faults = gen
 		all = append(all, dcp.SweepIncastParallel(o, flowCounts)...)
 	}
 	dcp.PrintIncastRows(os.Stdout, all)

@@ -76,3 +76,43 @@ func TestParseInts(t *testing.T) {
 		}
 	}
 }
+
+func TestParseFaultGen(t *testing.T) {
+	cases := []struct {
+		spec        string
+		wantNil     bool
+		wantClasses int
+		wantErr     bool
+	}{
+		{"", true, 0, false},
+		{"all", false, 6, false},
+		{"blackout", false, 1, false},
+		{"loss,stall", false, 2, false},
+		{"blackout, rate ", false, 2, false},
+		{"bogus", false, 0, true},
+		{"loss,,stall", false, 0, true},
+	}
+	for _, c := range cases {
+		gen, err := parseFaultGen(c.spec, 7)
+		if (err != nil) != c.wantErr {
+			t.Errorf("parseFaultGen(%q) err = %v, wantErr=%v", c.spec, err, c.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if (gen == nil) != c.wantNil {
+			t.Errorf("parseFaultGen(%q) nil = %v, want %v", c.spec, gen == nil, c.wantNil)
+			continue
+		}
+		if gen == nil {
+			continue
+		}
+		if gen.Seed != 7 {
+			t.Errorf("parseFaultGen(%q) seed = %d, want 7", c.spec, gen.Seed)
+		}
+		if len(gen.Classes) != c.wantClasses {
+			t.Errorf("parseFaultGen(%q) classes = %d, want %d", c.spec, len(gen.Classes), c.wantClasses)
+		}
+	}
+}

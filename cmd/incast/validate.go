@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"time"
+
+	dcp "dctcpplus"
 )
 
 // validateFlags rejects option combinations the sweep cannot run: the
@@ -27,4 +29,20 @@ func validateFlags(rounds, warmup int, total, perflow int64, rtoMin, jitter time
 		return fmt.Errorf("-jitter %v: cannot be negative", jitter)
 	}
 	return nil
+}
+
+// parseFaultGen resolves the -faults/-faultseed flags into a fault-plan
+// generator config. An empty spec disables injection (nil config); "all"
+// or a comma-separated class list selects which pathologies to inject.
+func parseFaultGen(spec string, seed uint64) (*dcp.FaultGenConfig, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	classes, err := dcp.ParseFaultClasses(spec)
+	if err != nil {
+		return nil, err
+	}
+	g := dcp.DefaultFaultGenConfig(seed)
+	g.Classes = classes
+	return &g, nil
 }

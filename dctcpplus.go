@@ -44,6 +44,7 @@ import (
 
 	"dctcpplus/internal/core"
 	"dctcpplus/internal/exp"
+	"dctcpplus/internal/fault"
 	"dctcpplus/internal/sim"
 	"dctcpplus/internal/stats"
 	"dctcpplus/internal/telemetry"
@@ -245,6 +246,48 @@ func WriteManifestFile(path string, m *Manifest) error { return telemetry.WriteM
 // per changed instrument. Use it to compare a fresh -baseline run against
 // the committed BENCH_baseline.json.
 func DiffManifests(base, cur *Manifest) []string { return telemetry.DiffSummaries(base, cur) }
+
+// Fault injection: deterministic, schedulable pathologies composed with
+// any incast run — link blackouts, seeded random loss, rate/delay
+// degradation, switch buffer carving, host stalls (see DESIGN.md's fault
+// model). Set IncastOptions.Faults to a FaultGenConfig and the run injects
+// the generated plan at its virtual times; the run stays a pure function
+// of options + seed. RunResilience produces the EXPERIMENTS.md resilience
+// table.
+type (
+	// FaultClass names a family of faults: blackout, loss, rate, delay,
+	// buffer, stall.
+	FaultClass = fault.Class
+	// FaultGenConfig parameterizes the seeded fault-plan generator.
+	FaultGenConfig = fault.GenConfig
+	// FaultStats totals what a fault plan did to a run.
+	FaultStats = fault.Stats
+	// ResilienceOptions parameterizes the clean-vs-faulted, per-class
+	// protocol comparison sweep.
+	ResilienceOptions = exp.ResilienceOptions
+	// ResilienceRow is one fault class evaluated across the protocols.
+	ResilienceRow = exp.ResilienceRow
+)
+
+// DefaultFaultGenConfig returns the moderate fault mix (two 10ms-scale
+// episodes per class in [20ms, 220ms)) under the given seed.
+func DefaultFaultGenConfig(seed uint64) FaultGenConfig { return fault.DefaultGenConfig(seed) }
+
+// AllFaultClasses lists every fault class in declaration order.
+func AllFaultClasses() []FaultClass { return fault.AllClasses() }
+
+// ParseFaultClasses resolves a comma-separated fault-class list ("all" or
+// "" selects every class).
+func ParseFaultClasses(s string) ([]FaultClass, error) { return fault.ParseClasses(s) }
+
+// RunResilience executes the resilience sweep: each protocol clean, then
+// under each fault class in isolation.
+func RunResilience(o ResilienceOptions) []ResilienceRow { return exp.RunResilience(o) }
+
+// PrintResilienceRows writes the resilience sweep as aligned text rows.
+func PrintResilienceRows(w io.Writer, protocols []Protocol, rows []ResilienceRow) {
+	exp.PrintResilienceRows(w, protocols, rows)
+}
 
 // Typed per-figure experiments: construct the spec (NewFigureN), adjust
 // fields, Run, then Render the same rows/series the paper reports.

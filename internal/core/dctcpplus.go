@@ -261,8 +261,17 @@ func (e *Enhancer) FlushTelemetry(now sim.Time) {
 // ConfigUsed returns the enhancement configuration.
 func (e *Enhancer) ConfigUsed() Config { return e.cfg }
 
-// Init initializes the inner module.
-func (e *Enhancer) Init(s *tcp.Sender) { e.inner.Init(s) }
+// Init anchors the state-machine clocks at the sender's start time, then
+// initializes the inner module. Senders are created mid-run (staggered
+// incast arrivals, background flows); without the anchor, the first
+// setState/Occupancy call would attribute all virtual time since t=0 to
+// DCTCP_NORMAL occupancy, and the decay cadence would measure from the
+// epoch instead of from the flow's start.
+func (e *Enhancer) Init(s *tcp.Sender) {
+	e.stateFrom = s.Now()
+	e.lastDecay = s.Now()
+	e.inner.Init(s)
+}
 
 // OnAck lets the inner module observe the ACK, then evaluates the state
 // machine — the ndctcp_status_evolution() hook.
@@ -332,11 +341,16 @@ func (e *Enhancer) backoffStep(s *tcp.Sender) sim.Duration {
 }
 
 // divide applies the multiplicative decrease to slow_time, at most once
-// per DecayInterval. It reports whether a decrease was applied.
+// per DecayInterval. It reports whether a decrease was applied. The gate
+// measures from lastDecay unconditionally: lastDecay is anchored at Init
+// and re-anchored whenever the machine enters DCTCP_Time_Des, so the first
+// decrease obeys the cadence too. (An earlier version gated on
+// stats.DecSteps > 0, which let the first decrease bypass DecayInterval
+// entirely — a single clean ACK right after entering Time_Des could halve
+// a slow_time that took tens of marked ACKs to build.)
 func (e *Enhancer) divide(s *tcp.Sender) bool {
 	now := s.Now()
-	if e.cfg.DecayInterval > 0 && e.stats.DecSteps > 0 &&
-		now.Sub(e.lastDecay) < e.cfg.DecayInterval {
+	if e.cfg.DecayInterval > 0 && now.Sub(e.lastDecay) < e.cfg.DecayInterval {
 		return false
 	}
 	e.lastDecay = now
@@ -399,6 +413,10 @@ func (e *Enhancer) evolve(s *tcp.Sender, ece, retrans bool) {
 			e.increase(s)
 		} else {
 			e.setState(s, StateTimeDes)
+			// Restart the decay cadence: slow_time has just finished
+			// building, so the first multiplicative decrease waits a full
+			// DecayInterval rather than firing on the first clean ACK.
+			e.lastDecay = s.Now()
 			e.divide(s)
 		}
 	case StateTimeDes:

@@ -196,9 +196,9 @@ func TestStateMachineTransitions(t *testing.T) {
 }
 
 func TestDecayRateLimited(t *testing.T) {
-	// With a decay interval, consecutive clean evaluations at the same
-	// virtual instant may divide slow_time at most once — a burst of clean
-	// ACKs cannot erase the regulation.
+	// With a decay interval, a freshly built slow_time survives entry into
+	// TimeDes for a full interval, and a burst of clean evaluations divides
+	// it at most once per interval — clean ACKs cannot erase the regulation.
 	cfg := DefaultConfig()
 	cfg.DecayInterval = 5 * sim.Millisecond
 	w := newPlusWire(cfg, func(c *tcp.Config) {
@@ -213,19 +213,131 @@ func TestDecayRateLimited(t *testing.T) {
 	if peak <= 0 {
 		t.Fatal("no slow_time accumulated")
 	}
-	for i := 0; i < 10; i++ {
-		e.evolve(s, false, false) // clean burst at the same instant
+	// First clean ACK enters TimeDes but must not touch slow_time: the
+	// cadence clock restarts at entry.
+	w.sched.At(sim.Time(1*sim.Millisecond), func() {
+		e.evolve(s, false, false)
+		if e.State() != StateTimeDes {
+			t.Fatalf("state = %v, want TimeDes", e.State())
+		}
+		if e.SlowTime() != peak {
+			t.Errorf("slow_time = %v on TimeDes entry, want the full %v", e.SlowTime(), peak)
+		}
+	})
+	// A clean burst one interval later divides exactly once.
+	w.sched.At(sim.Time(7*sim.Millisecond), func() {
+		for i := 0; i < 10; i++ {
+			e.evolve(s, false, false)
+		}
+		want := sim.Duration(float64(peak) / cfg.DivisorFactor)
+		if e.SlowTime() != want {
+			t.Errorf("slow_time = %v, want a single division to %v", e.SlowTime(), want)
+		}
+		if e.Stats().DecSteps != 1 {
+			t.Errorf("DecSteps = %d, want 1", e.Stats().DecSteps)
+		}
+	})
+	w.sched.Run()
+}
+
+// TestDecayCadenceTable pins the decay gate end to end: entry into
+// Time_Des restarts the cadence clock (so the first decrease waits a full
+// DecayInterval — regression for the DecSteps>0 gate that let a single
+// clean ACK halve a freshly built slow_time), later decreases come at
+// least one interval apart, and a zero interval decays on every clean
+// evaluation.
+func TestDecayCadenceTable(t *testing.T) {
+	type step struct {
+		at        sim.Duration
+		congested bool
+		wantDecs  int64 // cumulative DecSteps after this evaluation
 	}
-	if e.State() != StateTimeDes {
-		t.Fatalf("state = %v, want TimeDes", e.State())
+	ms := sim.Millisecond
+	cases := []struct {
+		name     string
+		interval sim.Duration
+		steps    []step
+	}{
+		{
+			name:     "first decay waits a full interval",
+			interval: 5 * ms,
+			steps: []step{
+				{at: 0, congested: true, wantDecs: 0},        // engage TimeInc
+				{at: 1 * ms, congested: false, wantDecs: 0},  // enter TimeDes: no decay
+				{at: 2 * ms, congested: false, wantDecs: 0},  // inside the interval
+				{at: 6 * ms, congested: false, wantDecs: 1},  // entry + 5ms: first decay
+				{at: 7 * ms, congested: false, wantDecs: 1},  // gated
+				{at: 11 * ms, congested: false, wantDecs: 2}, // steady cadence
+			},
+		},
+		{
+			name:     "zero interval decays every clean evaluation",
+			interval: 0,
+			steps: []step{
+				{at: 0, congested: true, wantDecs: 0},
+				{at: 1 * ms, congested: false, wantDecs: 1},
+				{at: 1*ms + sim.Microsecond, congested: false, wantDecs: 2},
+			},
+		},
 	}
-	want := sim.Duration(float64(peak) / cfg.DivisorFactor)
-	if e.SlowTime() != want {
-		t.Errorf("slow_time = %v, want a single division to %v", e.SlowTime(), want)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.DecayInterval = tc.interval
+			// Deterministic large backoff so repeated halvings stay above
+			// ThresholdT for the whole table.
+			cfg.Randomize = false
+			cfg.BackoffUnit = 100 * ms
+			w := newPlusWire(cfg, func(c *tcp.Config) {
+				c.InitialCwnd = 1
+				c.MinCwnd = 1
+			})
+			e, s := w.enh, w.conn.Sender
+			for _, st := range tc.steps {
+				st := st
+				w.sched.At(sim.Time(st.at), func() {
+					e.evolve(s, st.congested, false)
+					if got := e.Stats().DecSteps; got != st.wantDecs {
+						t.Errorf("t=%v: DecSteps = %d, want %d", st.at, got, st.wantDecs)
+					}
+				})
+			}
+			w.sched.Run()
+		})
 	}
-	if e.Stats().DecSteps != 1 {
-		t.Errorf("DecSteps = %d, want 1", e.Stats().DecSteps)
-	}
+}
+
+// TestInitAnchorsStateClockAtNonzeroStart is the regression for senders
+// created mid-run (staggered incast arrivals, background flows): Init must
+// anchor the occupancy clock at the sender's start time, not the epoch.
+func TestInitAnchorsStateClockAtNonzeroStart(t *testing.T) {
+	s := sim.NewScheduler()
+	a := netsim.NewHost(s, 1, "a")
+	b := netsim.NewHost(s, 2, "b")
+	a.SetUplink(netsim.NewPort(s, netsim.NewLink(s, b, 1e9, 50*sim.Microsecond),
+		netsim.PortConfig{BufferBytes: 4 << 20}))
+	b.SetUplink(netsim.NewPort(s, netsim.NewLink(s, a, 1e9, 50*sim.Microsecond),
+		netsim.PortConfig{BufferBytes: 4 << 20}))
+
+	start := sim.Time(100 * sim.Millisecond)
+	var e *Enhancer
+	var snd *tcp.Sender
+	s.At(start, func() {
+		e = New(dctcp.DefaultGain, DefaultConfig())
+		conn := tcp.NewConn(SenderConfig(), e, a, b, 3)
+		snd = conn.Sender
+	})
+	s.At(start.Add(5*sim.Millisecond), func() {
+		occ := e.Occupancy(snd.Now())
+		if occ[StateNormal] != 5*sim.Millisecond {
+			t.Errorf("Normal occupancy = %v for a flow alive 5ms (pre-start time leaked in)",
+				occ[StateNormal])
+		}
+		if occ[StateTimeInc] != 0 || occ[StateTimeDes] != 0 {
+			t.Errorf("engaged-state occupancy nonzero before engagement: %v", occ)
+		}
+	})
+	s.Run()
 }
 
 func TestCwndCapWhileEngaged(t *testing.T) {

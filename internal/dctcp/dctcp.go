@@ -101,8 +101,17 @@ func (d *DCTCP) SsthreshAfterLoss(s *tcp.Sender) float64 {
 	return s.CwndMSS() / 2
 }
 
-// OnTimeout keeps alpha: the estimator state survives RTOs.
-func (d *DCTCP) OnTimeout(*tcp.Sender) {}
+// OnTimeout keeps alpha — the estimator state survives RTOs — but
+// restarts the observation window at the rewound snd_nxt. The engine has
+// already performed the go-back-N rewind (snd_nxt = snd_una) when this
+// hook runs, so the windowEnd recorded before the timeout can exceed the
+// new snd_nxt; left in place, it would stall alpha updates until the whole
+// pre-timeout window was re-acknowledged, with the retransmitted bytes
+// double-counted in the marked-fraction accumulators.
+func (d *DCTCP) OnTimeout(s *tcp.Sender) {
+	d.ackedBytes, d.markedBytes = 0, 0
+	d.windowEnd = s.SndNxt()
+}
 
 // PacingDelay is zero: plain DCTCP never paces — that inability to slow
 // down below the window floor is precisely the pitfall DCTCP+ fixes.

@@ -218,3 +218,79 @@ func TestDCTCPKeepsQueueNearK(t *testing.T) {
 		t.Errorf("single flow should not time out, got %d", st.Timeouts)
 	}
 }
+
+// dropShim discards data packets while *drop is set; ACKs always pass.
+type dropShim struct {
+	dst  netsim.Node
+	drop *bool
+}
+
+func (m *dropShim) ID() packet.NodeID { return 51 }
+func (m *dropShim) Deliver(p *packet.Packet) {
+	if *m.drop && p.IsData() {
+		return
+	}
+	m.dst.Deliver(p)
+}
+
+// TestWindowReanchorsAfterRTO is the regression for the observation-window
+// anchor across a go-back-N rewind. Before the fix, windowEnd kept the
+// pre-timeout snd_nxt, which exceeds the rewound snd_nxt: alpha updates
+// then stall until the entire lost window is re-acknowledged, and the
+// retransmitted bytes are double-counted in the marked-fraction
+// accumulators. OnTimeout must re-anchor the window at the rewound
+// snd_nxt and clear the accumulators.
+func TestWindowReanchorsAfterRTO(t *testing.T) {
+	s := sim.NewScheduler()
+	a := netsim.NewHost(s, 1, "a")
+	b := netsim.NewHost(s, 2, "b")
+	drop := new(bool)
+	shim := &dropShim{dst: b, drop: drop}
+	a.SetUplink(netsim.NewPort(s, netsim.NewLink(s, shim, 1e9, 50*sim.Microsecond),
+		netsim.PortConfig{BufferBytes: 4 << 20}))
+	b.SetUplink(netsim.NewPort(s, netsim.NewLink(s, a, 1e9, 50*sim.Microsecond),
+		netsim.PortConfig{BufferBytes: 4 << 20}))
+	cfg := Config()
+	cfg.InitialCwnd = 8
+	cfg.RTOMin = 10 * sim.Millisecond
+	d := New(DefaultGain)
+	c := tcp.NewConn(cfg, d, a, b, 3)
+	snd := c.Sender
+
+	// Cut the data path once 10 MSS are acknowledged — mid-window, with
+	// alpha's observation anchor strictly ahead of snd_una.
+	checked := false
+	snd.OnAckProbe = func(ps *tcp.Sender, _ bool) {
+		if !*drop && !checked && ps.SndUna() >= 10*packet.MSS {
+			*drop = true
+		}
+	}
+	snd.OnTimeoutEvent = func(tcp.TimeoutKind) {
+		if checked {
+			return
+		}
+		checked = true
+		*drop = false // let the retransmissions through
+		// The RTO handler has not rewound yet when this hook fires;
+		// inspect the estimator right after it completes.
+		s.After(0, func() {
+			if d.windowEnd != snd.SndUna() {
+				t.Errorf("windowEnd = %d after RTO, want re-anchored at rewound snd_una %d",
+					d.windowEnd, snd.SndUna())
+			}
+			if d.ackedBytes != 0 || d.markedBytes != 0 {
+				t.Errorf("accumulators survived the RTO: acked=%d marked=%d",
+					d.ackedBytes, d.markedBytes)
+			}
+		})
+	}
+
+	snd.Send(64 * packet.MSS)
+	s.RunUntil(sim.Time(5 * sim.Second))
+	if !checked {
+		t.Fatal("no RTO fired; the scenario never exercised the rewind")
+	}
+	if !snd.Done() {
+		t.Fatal("transfer did not complete after recovery")
+	}
+}

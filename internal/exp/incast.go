@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"dctcpplus/internal/fault"
 	"dctcpplus/internal/netsim"
 	"dctcpplus/internal/sim"
 	"dctcpplus/internal/stats"
@@ -111,6 +112,13 @@ type IncastOptions struct {
 	// sweep — including SweepIncastParallel — because instruments are
 	// atomic.
 	Telemetry *telemetry.Registry
+
+	// Faults, when non-nil, generates a deterministic fault plan from this
+	// seeded configuration and injects it into the run (see internal/fault).
+	// The run stays a pure function of its options: the same GenConfig
+	// yields the same plan, applied at the same virtual times. FaultStats
+	// on the result reports what fired.
+	Faults *fault.GenConfig
 }
 
 // RoundPoint is one round of an incast run, retained when KeepRounds is
@@ -184,6 +192,13 @@ type IncastResult struct {
 
 	// Series holds every round (warmup included) when KeepRounds was set.
 	Series []RoundPoint
+
+	// SimTime is the virtual time the whole run consumed (all rounds,
+	// warmup included) — the span fault plans must overlap to matter.
+	SimTime sim.Duration
+
+	// FaultStats totals the injected faults; nil unless Faults was set.
+	FaultStats *fault.Stats
 }
 
 // ConvergedAtRound returns the index of the first round after which no
@@ -229,6 +244,15 @@ func RunIncast(o IncastOptions) IncastResult {
 	if factory == nil {
 		factory = o.Protocol.Factory(o.RTOMin, o.Testbed.Seed)
 	}
+	// Under fault injection a round's request packet can be destroyed
+	// outright (blackout, injected loss); the workload's request retry is
+	// the application-level recovery that keeps the barrier from hanging.
+	// Clean runs leave it off — nothing can destroy a request — so their
+	// event streams are unchanged.
+	var reqRetry sim.Duration
+	if o.Faults != nil {
+		reqRetry = 10 * sim.Millisecond
+	}
 	in := workload.NewIncast(sched, tt, workload.IncastConfig{
 		Flows:         o.Flows,
 		BytesPerFlow:  o.perFlowBytes(),
@@ -236,10 +260,19 @@ func RunIncast(o IncastOptions) IncastResult {
 		Factory:       factory,
 		ServiceJitter: o.Testbed.ServiceJitter,
 		Seed:          o.Testbed.Seed,
+		RequestRetry:  reqRetry,
 	})
 
 	labels := attachRunTelemetry(o.Telemetry, tt, in.Conns(), o.Protocol, o.Flows)
 	in.AttachTelemetry(o.Telemetry, labels...)
+
+	var inj *fault.Injector
+	if o.Faults != nil {
+		el := fault.TwoTierElements(tt)
+		inj = fault.NewInjector(sched, el)
+		inj.AttachTelemetry(o.Telemetry, withLabel(labels, "faults", fault.ClassesLabel(o.Faults.Classes))...)
+		inj.Install(fault.Generate(*o.Faults, len(el.Links), len(el.Ports), len(el.Hosts)))
+	}
 
 	var probes []*trace.CwndProbe
 	if o.CollectCwnd {
@@ -263,6 +296,11 @@ func RunIncast(o IncastOptions) IncastResult {
 	res := IncastResult{
 		Protocol: o.Protocol,
 		Flows:    o.Flows,
+		SimTime:  sched.Now().Sub(sim.Time(0)),
+	}
+	if inj != nil {
+		st := inj.Finish()
+		res.FaultStats = &st
 	}
 	if o.KeepRounds {
 		for _, r := range in.Results() {

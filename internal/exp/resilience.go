@@ -1,0 +1,122 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"dctcpplus/internal/fault"
+	"dctcpplus/internal/sim"
+)
+
+// ResilienceOptions parameterizes a resilience sweep: the same incast
+// point run clean and then under each fault class in isolation, for each
+// protocol — the experiment behind the EXPERIMENTS.md resilience table.
+// Every (class, protocol) cell is an independent deterministic run, so the
+// sweep reuses the parallel point machinery.
+type ResilienceOptions struct {
+	// Base is the incast point every cell shares; Protocol and Faults are
+	// overridden per cell.
+	Base IncastOptions
+
+	// Protocols are the table columns; nil means {DCTCP, DCTCP+} — the
+	// paper's head-to-head pair.
+	Protocols []Protocol
+
+	// Classes are the table rows (after the clean baseline); nil means
+	// every fault class.
+	Classes []fault.Class
+
+	// Gen is the plan-distribution template. Its Classes field is
+	// overridden per row so each row isolates one fault family; everything
+	// else (seed, episode count, severities) is shared, so rows differ
+	// only in the pathology injected.
+	//
+	// Timing is auto-calibrated when Gen.Window is zero: protocols under
+	// massive incast differ in run length by an order of magnitude (a
+	// collapsed DCTCP run crawls through RTO after RTO), so a fixed fault
+	// window would perturb one protocol's whole run and miss another's
+	// entirely. Instead each cell's episodes are spread over the middle
+	// 80% of that protocol's clean run, with episode length scaled to 10%
+	// of it — every protocol loses the same fraction of its run to the
+	// pathology, making the degradation ratios comparable.
+	Gen fault.GenConfig
+}
+
+// ResilienceRow is one fault class evaluated across the protocols.
+type ResilienceRow struct {
+	// Label is the fault class name, or "none" for the clean baseline.
+	Label string
+	// Results is column-aligned with the sweep's Protocols.
+	Results []IncastResult
+}
+
+// RunResilience executes the full sweep — (1 + len(Classes)) rows x
+// len(Protocols) columns — with the cells running concurrently under
+// exp.Parallelism. Row 0 is always the clean baseline.
+func RunResilience(o ResilienceOptions) []ResilienceRow {
+	if len(o.Protocols) == 0 {
+		o.Protocols = []Protocol{ProtoDCTCP, ProtoDCTCPPlus}
+	}
+	if len(o.Classes) == 0 {
+		o.Classes = fault.AllClasses()
+	}
+	rows := make([]ResilienceRow, 1+len(o.Classes))
+	rows[0].Label = "none"
+	for i, c := range o.Classes {
+		rows[i+1].Label = c.String()
+	}
+
+	// Clean baselines first: they anchor the table and, when Gen.Window
+	// is unset, calibrate each protocol's fault window to its actual run
+	// span (see ResilienceOptions.Gen).
+	cleanOpts := make([]IncastOptions, len(o.Protocols))
+	for c, p := range o.Protocols {
+		op := o.Base
+		op.Protocol = p
+		cleanOpts[c] = op
+	}
+	rows[0].Results = RunMany(cleanOpts)
+
+	var opts []IncastOptions
+	for r := 1; r < len(rows); r++ {
+		rows[r].Results = make([]IncastResult, len(o.Protocols))
+		for c, p := range o.Protocols {
+			op := o.Base
+			op.Protocol = p
+			gen := o.Gen
+			gen.Classes = []fault.Class{o.Classes[r-1]}
+			if gen.Window <= 0 {
+				span := rows[0].Results[c].SimTime
+				gen.Start = sim.Time(span / 10)
+				gen.Window = span * 8 / 10
+				gen.Dur = span / 10
+			}
+			op.Faults = &gen
+			opts = append(opts, op)
+		}
+	}
+	faulted := RunMany(opts)
+	for i, res := range faulted {
+		rows[1+i/len(o.Protocols)].Results[i%len(o.Protocols)] = res
+	}
+	return rows
+}
+
+// PrintResilienceRows writes the sweep as an aligned table: one row per
+// fault class, one goodput/FCT/timeouts column group per protocol.
+func PrintResilienceRows(w io.Writer, protocols []Protocol, rows []ResilienceRow) {
+	fmt.Fprintf(w, "%-10s", "fault")
+	for _, p := range protocols {
+		name := p.String()
+		fmt.Fprintf(w, "  %16s %12s %12s", name+".goodput", name+".fct", name+".timeouts")
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s", r.Label)
+		for _, res := range r.Results {
+			fmt.Fprintf(w, "  %13.0f Mb %10.2fms %12d",
+				res.GoodputMbps.Mean, res.FCTms.Mean, res.Timeouts)
+		}
+		fmt.Fprintln(w)
+	}
+}

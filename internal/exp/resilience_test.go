@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dctcpplus/internal/fault"
+	"dctcpplus/internal/sim"
+	"dctcpplus/internal/telemetry"
+)
+
+// instrumentedFaultedIncast is instrumentedIncast with a full-mix fault
+// plan injected: one fully instrumented faulted run, returning the registry
+// snapshot's JSON serialization plus a finished manifest.
+func instrumentedFaultedIncast(t *testing.T, p Protocol, flows int) ([]byte, *telemetry.Manifest) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	o := fastIncastOpts(p, flows)
+	o.Telemetry = reg
+	o.Faults = &fault.GenConfig{Seed: 11}
+	res := RunIncast(o)
+	if res.FaultStats == nil || res.FaultStats.EventsFired == 0 {
+		t.Fatal("faulted run fired no fault events")
+	}
+
+	data, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := telemetry.NewManifest("fault-determinism-regression", o.Testbed.Seed)
+	m.Finish(reg, 0)
+	return data, m
+}
+
+// TestFaultedSeededRunsAreByteIdentical extends the determinism harness to
+// fault-injected runs: the same seed plus the same fault.GenConfig must
+// produce byte-identical metric snapshots — faults included — for both the
+// baseline and the enhanced protocol.
+func TestFaultedSeededRunsAreByteIdentical(t *testing.T) {
+	for _, p := range []Protocol{ProtoDCTCP, ProtoDCTCPPlus} {
+		t.Run(p.String(), func(t *testing.T) {
+			snapA, manA := instrumentedFaultedIncast(t, p, 24)
+			snapB, manB := instrumentedFaultedIncast(t, p, 24)
+
+			if !bytes.Equal(snapA, snapB) {
+				t.Errorf("faulted registry snapshots differ between identically seeded runs\nA: %s\nB: %s", snapA, snapB)
+			}
+			if diffs := telemetry.DiffSummaries(manA, manB); len(diffs) != 0 {
+				t.Errorf("DiffSummaries reported %d drifting instruments:\n%s",
+					len(diffs), diffs)
+			}
+		})
+	}
+}
+
+// faultedSweepSnapshots runs a small per-class faulted sweep under the
+// given exp.Parallelism, each cell with its own registry, and returns the
+// per-cell snapshot serializations in cell order.
+func faultedSweepSnapshots(t *testing.T, par int) [][]byte {
+	t.Helper()
+	old := Parallelism
+	Parallelism = par
+	defer func() { Parallelism = old }()
+
+	classes := []fault.Class{fault.ClassBlackout, fault.ClassLoss, fault.ClassStall}
+	var opts []IncastOptions
+	var regs []*telemetry.Registry
+	for _, p := range []Protocol{ProtoDCTCP, ProtoDCTCPPlus} {
+		for _, cls := range classes {
+			o := fastIncastOpts(p, 16)
+			o.Faults = &fault.GenConfig{Seed: 11, Classes: []fault.Class{cls}}
+			o.Telemetry = telemetry.NewRegistry()
+			regs = append(regs, o.Telemetry)
+			opts = append(opts, o)
+		}
+	}
+	RunMany(opts)
+
+	snaps := make([][]byte, len(regs))
+	for i, reg := range regs {
+		data, err := json.Marshal(reg.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps[i] = data
+	}
+	return snaps
+}
+
+// TestFaultedSweepParallelismInvariant pins the other half of the contract:
+// running the same faulted cells sequentially and concurrently must yield
+// byte-identical per-cell snapshots — parallelism changes wall-clock time
+// only, never results, faults included.
+func TestFaultedSweepParallelismInvariant(t *testing.T) {
+	seq := faultedSweepSnapshots(t, 1)
+	par := faultedSweepSnapshots(t, 4)
+	for i := range seq {
+		if !bytes.Equal(seq[i], par[i]) {
+			t.Errorf("cell %d: snapshot differs between Parallelism=1 and Parallelism=4\nseq: %s\npar: %s",
+				i, seq[i], par[i])
+		}
+	}
+}
+
+// resilienceBase is the operating point of the committed resilience gate
+// and the EXPERIMENTS.md table: the paper's massive-flow regime (N=150,
+// where plain DCTCP's window floor binds) with the datacenter-tuned 10ms
+// RTOmin, long enough past warmup that the calibrated fault windows land
+// in measured rounds.
+func resilienceBase(flows int) IncastOptions {
+	o := DefaultIncastOptions(ProtoDCTCP, flows)
+	o.Rounds, o.WarmupRounds = 10, 2
+	o.RTOMin = 10 * sim.Millisecond
+	return o
+}
+
+// TestResilienceDCTCPPlusNoWorse is the acceptance gate behind the
+// EXPERIMENTS.md resilience table: in the massive-flow regime, under every
+// fault class, (a) DCTCP+ still outperforms DCTCP outright — the paper's
+// advantage survives the pathology — and (b) DCTCP+'s degradation relative
+// to its own clean baseline is no worse than DCTCP's, within a noise
+// tolerance. The enhancement layer must not amplify pathologies it was not
+// designed for.
+func TestResilienceDCTCPPlusNoWorse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("resilience sweep")
+	}
+	rows := RunResilience(ResilienceOptions{
+		Base: resilienceBase(150),
+		Gen:  fault.GenConfig{Seed: 5},
+	})
+	cleanDCTCP := rows[0].Results[0].GoodputMbps.Mean
+	cleanPlus := rows[0].Results[1].GoodputMbps.Mean
+	for _, r := range rows[1:] {
+		dctcp, plus := r.Results[0], r.Results[1]
+		if plus.GoodputMbps.Mean < dctcp.GoodputMbps.Mean {
+			t.Errorf("%s: DCTCP+ goodput %.1f Mbps below DCTCP %.1f Mbps",
+				r.Label, plus.GoodputMbps.Mean, dctcp.GoodputMbps.Mean)
+		}
+		ratioDCTCP := dctcp.GoodputMbps.Mean / cleanDCTCP
+		ratioPlus := plus.GoodputMbps.Mean / cleanPlus
+		if ratioPlus < ratioDCTCP-0.10 {
+			t.Errorf("%s: DCTCP+ degraded to %.3f of clean vs DCTCP's %.3f",
+				r.Label, ratioPlus, ratioDCTCP)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// Package fault is the deterministic fault-injection layer of the testbed:
+// a schedulable Plan of timed events that perturb the netsim substrate
+// mid-run — link blackouts and flaps, rate and propagation-delay changes,
+// switch buffer and ECN-threshold resizing, seeded random loss, and host
+// stall windows (GC-pause-style sender freezes).
+//
+// The paper's claim is robustness under pathology, but the clean testbed
+// only exercises perfect links and static buffers. "Disentangling Flaws in
+// Linux DCTCP" (PAPERS.md) shows real deployments break in exactly the
+// messy conditions a clean testbed never models: loss not caused by
+// marking, asymmetric paths, parameter drift. This package opens that
+// scenario space without giving up the determinism contract from the
+// simulation core: every fault is applied from a sim.Scheduler callback on
+// the single simulation thread, and every random choice (in Generate and
+// in the injected loss streams) is drawn from seeded sim.RNG streams — so
+// a run remains a pure function of its configuration, seed and Plan.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dctcpplus/internal/netsim"
+	"dctcpplus/internal/sim"
+)
+
+// Class names a family of faults, the unit of the resilience sweeps: each
+// class answers "how does the protocol degrade under this pathology?".
+type Class int
+
+const (
+	// ClassBlackout takes links fully down for a window (down/up flaps).
+	ClassBlackout Class = iota
+	// ClassLoss adds independent seeded random packet loss on links —
+	// loss the marking loop did not cause and cannot explain.
+	ClassLoss
+	// ClassRate degrades link rates mid-run (auto-negotiation fallback,
+	// oversubscribed trunks).
+	ClassRate
+	// ClassDelay inflates propagation delays mid-run (reroutes, path
+	// asymmetry).
+	ClassDelay
+	// ClassBuffer resizes switch buffers and ECN thresholds mid-run
+	// (shared-buffer carving, AQM parameter drift).
+	ClassBuffer
+	// ClassStall freezes sender hosts for a window (GC pauses, hypervisor
+	// preemption).
+	ClassStall
+
+	numClasses // sentinel for iteration; keep last
+)
+
+// String returns the flag-friendly name of the class.
+func (c Class) String() string {
+	switch c {
+	case ClassBlackout:
+		return "blackout"
+	case ClassLoss:
+		return "loss"
+	case ClassRate:
+		return "rate"
+	case ClassDelay:
+		return "delay"
+	case ClassBuffer:
+		return "buffer"
+	case ClassStall:
+		return "stall"
+	default:
+		panic(fmt.Sprintf("fault: unknown class %d", int(c)))
+	}
+}
+
+// AllClasses returns every fault class in declaration order.
+func AllClasses() []Class {
+	all := make([]Class, 0, int(numClasses))
+	for c := Class(0); c < numClasses; c++ {
+		all = append(all, c)
+	}
+	return all
+}
+
+// ParseClass resolves a flag-friendly class name.
+func ParseClass(s string) (Class, error) {
+	for c := Class(0); c < numClasses; c++ {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown class %q (want one of %s, or \"all\")", s, classNames())
+}
+
+// ParseClasses resolves a comma-separated class list; "all" (or "") selects
+// every class.
+func ParseClasses(s string) ([]Class, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "all" {
+		return AllClasses(), nil
+	}
+	var out []Class
+	for _, part := range strings.Split(s, ",") {
+		c, err := ParseClass(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// ClassesLabel names a class selection for telemetry labels and table
+// rows: the class names joined by "+", or "all" when the selection is
+// nil/empty (which Generate treats as every class).
+func ClassesLabel(cs []Class) string {
+	if len(cs) == 0 {
+		return "all"
+	}
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.String()
+	}
+	return strings.Join(names, "+")
+}
+
+func classNames() string {
+	names := make([]string, 0, int(numClasses))
+	for c := Class(0); c < numClasses; c++ {
+		names = append(names, c.String())
+	}
+	return strings.Join(names, "/")
+}
+
+// Op is a primitive mutation of one topology element.
+type Op int
+
+const (
+	// OpLinkDown blackholes Links[Index] until OpLinkUp.
+	OpLinkDown Op = iota
+	// OpLinkUp restores Links[Index].
+	OpLinkUp
+	// OpLinkRate sets Links[Index] to Scale x its nominal rate.
+	OpLinkRate
+	// OpLinkDelay sets Links[Index] to Scale x its nominal delay.
+	OpLinkDelay
+	// OpLinkLoss enables seeded random loss on Links[Index] at rate Loss.
+	OpLinkLoss
+	// OpPortBuffer sets Ports[Index] to Scale x its nominal buffer.
+	OpPortBuffer
+	// OpPortThreshold sets Ports[Index] to Scale x its nominal ECN mark
+	// threshold K.
+	OpPortThreshold
+	// OpHostStall freezes the uplink of Hosts[Index] until OpHostResume.
+	OpHostStall
+	// OpHostResume unfreezes the uplink of Hosts[Index].
+	OpHostResume
+)
+
+// String names the op for plan dumps and error messages.
+func (o Op) String() string {
+	switch o {
+	case OpLinkDown:
+		return "link-down"
+	case OpLinkUp:
+		return "link-up"
+	case OpLinkRate:
+		return "link-rate"
+	case OpLinkDelay:
+		return "link-delay"
+	case OpLinkLoss:
+		return "link-loss"
+	case OpPortBuffer:
+		return "port-buffer"
+	case OpPortThreshold:
+		return "port-threshold"
+	case OpHostStall:
+		return "host-stall"
+	case OpHostResume:
+		return "host-resume"
+	default:
+		panic(fmt.Sprintf("fault: unknown op %d", int(o)))
+	}
+}
+
+// Event is one timed mutation. Scales are relative to the element's
+// nominal value recorded by the Injector at Install time, which keeps
+// plans topology-agnostic: Scale 1 always means "restore to nominal".
+type Event struct {
+	At    sim.Time
+	Op    Op
+	Index int // element index in the Injector's Elements, per op family
+
+	Scale float64 // OpLinkRate/OpLinkDelay/OpPortBuffer/OpPortThreshold
+	Loss  float64 // OpLinkLoss: drop probability in [0,1]
+	Seed  uint64  // OpLinkLoss: seed of the per-link loss stream
+}
+
+// Plan is a list of timed fault events. Events may be appended in any
+// order; the Injector applies them in time order (ties in append order).
+type Plan struct {
+	Events []Event
+}
+
+// Empty reports whether the plan has no events.
+func (p *Plan) Empty() bool { return p == nil || len(p.Events) == 0 }
+
+// sorted returns the events in application order: by At, ties broken by
+// append order (stable), so plans are deterministic regardless of how
+// their constructors interleaved.
+func (p *Plan) sorted() []Event {
+	evs := append([]Event(nil), p.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	return evs
+}
+
+// AddBlackout takes link down at from and back up after dur.
+func (p *Plan) AddBlackout(link int, from sim.Time, dur sim.Duration) {
+	p.Events = append(p.Events,
+		Event{At: from, Op: OpLinkDown, Index: link},
+		Event{At: from.Add(dur), Op: OpLinkUp, Index: link})
+}
+
+// AddLoss enables random loss on link at the given time; rate 0 disables.
+func (p *Plan) AddLoss(link int, at sim.Time, rate float64, seed uint64) {
+	p.Events = append(p.Events, Event{At: at, Op: OpLinkLoss, Index: link, Loss: rate, Seed: seed})
+}
+
+// AddRateWindow degrades link to scale x nominal at from, restoring the
+// nominal rate after dur.
+func (p *Plan) AddRateWindow(link int, from sim.Time, dur sim.Duration, scale float64) {
+	p.Events = append(p.Events,
+		Event{At: from, Op: OpLinkRate, Index: link, Scale: scale},
+		Event{At: from.Add(dur), Op: OpLinkRate, Index: link, Scale: 1})
+}
+
+// AddDelayWindow inflates link's propagation delay to scale x nominal at
+// from, restoring the nominal delay after dur.
+func (p *Plan) AddDelayWindow(link int, from sim.Time, dur sim.Duration, scale float64) {
+	p.Events = append(p.Events,
+		Event{At: from, Op: OpLinkDelay, Index: link, Scale: scale},
+		Event{At: from.Add(dur), Op: OpLinkDelay, Index: link, Scale: 1})
+}
+
+// AddBufferWindow resizes port's buffer to scale x nominal at from,
+// restoring it after dur. The ECN threshold K is scaled alongside, as a
+// shared-buffer carve-out moves both.
+func (p *Plan) AddBufferWindow(port int, from sim.Time, dur sim.Duration, scale float64) {
+	p.Events = append(p.Events,
+		Event{At: from, Op: OpPortBuffer, Index: port, Scale: scale},
+		Event{At: from, Op: OpPortThreshold, Index: port, Scale: scale},
+		Event{At: from.Add(dur), Op: OpPortBuffer, Index: port, Scale: 1},
+		Event{At: from.Add(dur), Op: OpPortThreshold, Index: port, Scale: 1})
+}
+
+// AddStall freezes host's uplink at from, resuming after dur.
+func (p *Plan) AddStall(host int, from sim.Time, dur sim.Duration) {
+	p.Events = append(p.Events,
+		Event{At: from, Op: OpHostStall, Index: host},
+		Event{At: from.Add(dur), Op: OpHostResume, Index: host})
+}
+
+// Elements enumerates the mutable topology elements a plan's indices refer
+// to. The enumeration must be deterministic: plans address elements by
+// position, so two builds of the same topology must list elements in the
+// same order.
+type Elements struct {
+	Links []*netsim.Link
+	Ports []*netsim.Port
+	Hosts []*netsim.Host
+}
+
+// TwoTierElements enumerates the fault targets of a TwoTier topology in a
+// fixed, documented order:
+//
+//   - Links: each worker's uplink link (worker order), then the root
+//     switch's port links (attachment order: aggregator first, then the
+//     trunks), then each leaf's port links.
+//   - Ports: the switch ports in the same order (root then leaves) — the
+//     ports with the paper's 128KB/K=32KB configuration.
+//   - Hosts: the workers (stall targets are senders; stalling the
+//     aggregator would freeze the request loop itself).
+func TwoTierElements(tt *netsim.TwoTier) Elements {
+	var el Elements
+	for _, w := range tt.Workers {
+		el.Links = append(el.Links, w.Uplink().Link())
+		el.Hosts = append(el.Hosts, w)
+	}
+	for _, p := range tt.Root.Ports() {
+		el.Links = append(el.Links, p.Link())
+		el.Ports = append(el.Ports, p)
+	}
+	for _, leaf := range tt.Leaves {
+		for _, p := range leaf.Ports() {
+			el.Links = append(el.Links, p.Link())
+			el.Ports = append(el.Ports, p)
+		}
+	}
+	return el
+}

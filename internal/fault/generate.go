@@ -1,0 +1,143 @@
+package fault
+
+import (
+	"dctcpplus/internal/sim"
+)
+
+// GenConfig parameterizes Generate: a seeded distribution over fault
+// episodes. Every random choice — target element, start time, duration,
+// loss-stream seed — is drawn from one splitmix64 stream seeded with Seed,
+// in a fixed order, so the resulting Plan is a pure function of the config
+// and the element counts.
+type GenConfig struct {
+	// Seed drives all generation randomness (and the per-link loss
+	// streams, which are seeded from it).
+	Seed uint64
+
+	// Classes selects which fault families to generate, applied in the
+	// given order. Nil/empty means every class.
+	Classes []Class
+
+	// Episodes is the number of fault episodes generated per class.
+	Episodes int
+
+	// Start is the earliest episode start; episodes begin uniformly in
+	// [Start, Start+Window). Leave Start past the warmup rounds so the
+	// perturbation hits a converged system.
+	Start  sim.Time
+	Window sim.Duration
+
+	// Dur is the nominal episode length; each episode lasts
+	// Dur/2 + uniform[0, Dur) — bounded jitter around Dur.
+	Dur sim.Duration
+
+	// LossRate is the drop probability during ClassLoss episodes.
+	LossRate float64
+	// RateScale is the degraded rate multiplier during ClassRate episodes
+	// (e.g. 0.1 = link falls to 10% of nominal).
+	RateScale float64
+	// DelayScale is the propagation-delay multiplier during ClassDelay
+	// episodes (e.g. 8 = 8x nominal).
+	DelayScale float64
+	// BufferScale is the buffer/threshold multiplier during ClassBuffer
+	// episodes (e.g. 0.25 = buffer and K fall to a quarter).
+	BufferScale float64
+}
+
+// DefaultGenConfig returns a moderate fault mix: two 10ms-scale episodes
+// per class spread over [20ms, 220ms) — deep enough into a standard run to
+// hit a converged system, severe enough (5% loss, 10x rate drop, 8x delay,
+// quarter buffers) that an unprotected transport visibly degrades.
+func DefaultGenConfig(seed uint64) GenConfig {
+	return GenConfig{
+		Seed:        seed,
+		Episodes:    2,
+		Start:       sim.Time(20 * sim.Millisecond),
+		Window:      200 * sim.Millisecond,
+		Dur:         10 * sim.Millisecond,
+		LossRate:    0.05,
+		RateScale:   0.1,
+		DelayScale:  8,
+		BufferScale: 0.25,
+	}
+}
+
+// withDefaults fills zero-valued knobs from DefaultGenConfig (Seed and
+// Classes are taken as given).
+func (c GenConfig) withDefaults() GenConfig {
+	d := DefaultGenConfig(c.Seed)
+	if c.Episodes <= 0 {
+		c.Episodes = d.Episodes
+	}
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.Dur <= 0 {
+		c.Dur = d.Dur
+	}
+	if c.LossRate <= 0 {
+		c.LossRate = d.LossRate
+	}
+	if c.RateScale <= 0 {
+		c.RateScale = d.RateScale
+	}
+	if c.DelayScale <= 0 {
+		c.DelayScale = d.DelayScale
+	}
+	if c.BufferScale <= 0 {
+		c.BufferScale = d.BufferScale
+	}
+	return c
+}
+
+// Generate builds a Plan from the seeded distribution for a topology with
+// the given element counts (see Elements). Classes whose target family is
+// empty (e.g. ClassStall with no hosts) generate nothing. The plan is
+// deterministic: same config + same counts => identical events.
+func Generate(cfg GenConfig, nLinks, nPorts, nHosts int) Plan {
+	cfg = cfg.withDefaults()
+	classes := cfg.Classes
+	if len(classes) == 0 {
+		classes = AllClasses()
+	}
+	rng := sim.NewRNG(cfg.Seed ^ 0xfa17)
+	var plan Plan
+	for _, class := range classes {
+		for ep := 0; ep < cfg.Episodes; ep++ {
+			from := cfg.Start.Add(rng.Duration(cfg.Window))
+			dur := cfg.Dur/2 + rng.Duration(cfg.Dur)
+			switch class {
+			case ClassBlackout:
+				if nLinks > 0 {
+					plan.AddBlackout(rng.Intn(nLinks), from, dur)
+				}
+			case ClassLoss:
+				if nLinks > 0 {
+					link := rng.Intn(nLinks)
+					seed := rng.Uint64()
+					plan.AddLoss(link, from, cfg.LossRate, seed)
+					plan.AddLoss(link, from.Add(dur), 0, seed)
+				}
+			case ClassRate:
+				if nLinks > 0 {
+					plan.AddRateWindow(rng.Intn(nLinks), from, dur, cfg.RateScale)
+				}
+			case ClassDelay:
+				if nLinks > 0 {
+					plan.AddDelayWindow(rng.Intn(nLinks), from, dur, cfg.DelayScale)
+				}
+			case ClassBuffer:
+				if nPorts > 0 {
+					plan.AddBufferWindow(rng.Intn(nPorts), from, dur, cfg.BufferScale)
+				}
+			case ClassStall:
+				if nHosts > 0 {
+					plan.AddStall(rng.Intn(nHosts), from, dur)
+				}
+			default:
+				panic("fault: unknown class")
+			}
+		}
+	}
+	return plan
+}

@@ -32,6 +32,9 @@ type Host struct {
 	flows  map[packet.FlowID]FlowHandler
 	pool   *packet.Pool // optional packet freelist; nil = pooling off
 
+	delivered      int64 // packets handed to Deliver (any disposition)
+	deliveredBytes int64
+
 	// OnControl handles REQ packets (application requests).
 	OnControl func(pkt *packet.Packet)
 	// OnUnclaimed, if set, observes packets for flows with no registered
@@ -73,6 +76,14 @@ func (h *Host) AllocPacket() *packet.Packet { return h.pool.Get() }
 // Uplink returns the host's output port (nil before wiring).
 func (h *Host) Uplink() *Port { return h.uplink }
 
+// DeliveredPkts returns the number of packets this host has received
+// (control, data and unclaimed alike) — the delivery side of the
+// conservation ledger: sent = delivered + dropped + lost + blackholed.
+func (h *Host) DeliveredPkts() int64 { return h.delivered }
+
+// DeliveredBytes returns the bytes this host has received.
+func (h *Host) DeliveredBytes() int64 { return h.deliveredBytes }
+
 // Register binds a flow id to a transport endpoint. Registering the same
 // flow twice panics: flow ids are globally unique in this simulator.
 func (h *Host) Register(flow packet.FlowID, fh FlowHandler) {
@@ -100,6 +111,8 @@ func (h *Host) Send(pkt *packet.Packet) {
 // owner: once the handler returns, the packet is recycled (when a pool is
 // attached), so handlers must copy out any fields they keep.
 func (h *Host) Deliver(pkt *packet.Packet) {
+	h.delivered++
+	h.deliveredBytes += int64(pkt.Size())
 	if pkt.Flags.Has(packet.FlagREQ) {
 		if h.OnControl != nil {
 			h.OnControl(pkt)

@@ -43,9 +43,17 @@ type Link struct {
 
 	// Fault injection (SetLoss): independent per-packet drop probability,
 	// for robustness tests of the transport against non-congestive loss.
-	lossRate float64
-	lossRNG  *sim.RNG
-	lost     int64
+	lossRate  float64
+	lossRNG   *sim.RNG
+	lost      int64
+	lostBytes int64
+
+	// Fault injection (SetDown): while the link is down every packet
+	// handed to Propagate is blackholed — the internal/fault blackout
+	// primitive.
+	down            bool
+	blackholed      int64
+	blackholedBytes int64
 
 	pool      *packet.Pool // optional packet freelist; nil = pooling off
 	deliverFn func(any)    // deliver, bound once at construction
@@ -85,8 +93,47 @@ func (l *Link) SetLoss(rate float64, seed uint64) {
 	l.lossRNG = sim.NewRNG(seed)
 }
 
-// Lost returns the number of packets dropped by fault injection.
+// Lost returns the number of packets dropped by injected random loss.
 func (l *Link) Lost() int64 { return l.lost }
+
+// LostBytes returns the bytes dropped by injected random loss.
+func (l *Link) LostBytes() int64 { return l.lostBytes }
+
+// SetDown raises or clears a link blackout. While down, every packet
+// handed to Propagate is blackholed (counted, then recycled); packets
+// already in flight on the wire still deliver. Used by internal/fault for
+// deterministic link-failure windows.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// IsDown reports whether the link is currently blacked out.
+func (l *Link) IsDown() bool { return l.down }
+
+// Blackholed returns the number of packets dropped by link blackouts.
+func (l *Link) Blackholed() int64 { return l.blackholed }
+
+// BlackholedBytes returns the bytes dropped by link blackouts.
+func (l *Link) BlackholedBytes() int64 { return l.blackholedBytes }
+
+// SetRate changes the transmission rate mid-run (fault injection: link
+// degradation). The port reads the rate at each serialization, so the new
+// rate applies from the next packet clocked out.
+func (l *Link) SetRate(rateBps int64) {
+	if rateBps <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	l.RateBps = rateBps
+}
+
+// SetDelay changes the propagation delay mid-run (fault injection: path
+// rerouting / delay jitter). Packets already propagating keep the delay
+// they departed with; later packets may therefore arrive out of order,
+// exactly as on a real reroute.
+func (l *Link) SetDelay(d sim.Duration) {
+	if d < 0 {
+		panic("netsim: negative link delay")
+	}
+	l.Delay = d
+}
 
 // Propagate schedules delivery of pkt at the destination after the
 // propagation delay. The caller is responsible for having accounted for
@@ -95,8 +142,15 @@ func (l *Link) Propagate(pkt *packet.Packet) {
 	if pkt.Hop() > maxHops {
 		panic(fmt.Sprintf("netsim: packet exceeded %d hops (routing loop?): %v", maxHops, pkt))
 	}
+	if l.down {
+		l.blackholed++
+		l.blackholedBytes += int64(pkt.Size())
+		l.pool.Put(pkt)
+		return
+	}
 	if l.lossRate > 0 && l.lossRNG.Float64() < l.lossRate {
 		l.lost++
+		l.lostBytes += int64(pkt.Size())
 		l.pool.Put(pkt)
 		return
 	}

@@ -106,6 +106,7 @@ type Port struct {
 	qLen   int
 	qBytes int
 	busy   bool
+	paused bool // fault injection: frozen serialization (host stall)
 	rng    *sim.RNG
 	pool   *packet.Pool // optional packet freelist; nil = pooling off
 	txFn   func(any)    // transmitDone, bound once at construction
@@ -267,6 +268,44 @@ func (p *Port) Config() PortConfig { return p.cfg }
 // Link returns the attached outgoing link.
 func (p *Port) Link() *Link { return p.link }
 
+// SetBufferBytes changes the port's static buffer mid-run (fault
+// injection: buffer resizing). Shrinking below the current occupancy is
+// allowed — queued packets stay, but no arrival is admitted until the
+// queue drains under the new limit.
+func (p *Port) SetBufferBytes(n int) {
+	if n <= 0 {
+		panic("netsim: port buffer must be positive")
+	}
+	p.cfg.BufferBytes = n
+}
+
+// SetMarkThreshold changes the ECN marking threshold K mid-run (fault
+// injection: AQM parameter drift). Zero disables marking.
+func (p *Port) SetMarkThreshold(n int) {
+	if n < 0 {
+		panic("netsim: negative mark threshold")
+	}
+	p.cfg.MarkThresholdBytes = n
+}
+
+// Pause freezes the port: packets still enqueue (and tail-drop against the
+// buffer), but nothing new starts serializing until Resume. A packet
+// already being clocked out finishes normally. This is the internal/fault
+// host-stall primitive (a GC-pause-style sender freeze).
+func (p *Port) Pause() { p.paused = true }
+
+// Resume unfreezes a paused port and, if the queue is nonempty and no
+// packet is mid-serialization, restarts transmission.
+func (p *Port) Resume() {
+	p.paused = false
+	if !p.busy && p.qLen > 0 {
+		p.transmitNext()
+	}
+}
+
+// Paused reports whether the port is currently frozen.
+func (p *Port) Paused() bool { return p.paused }
+
 // Enqueue accepts a packet for transmission. If the static buffer cannot
 // hold it, the packet is dropped (tail drop). If the instantaneous queue
 // occupancy exceeds the marking threshold K and the packet is ECN-capable,
@@ -321,7 +360,7 @@ func (p *Port) Enqueue(pkt *packet.Packet) {
 // port busy for its serialization time, then hands it to the link for
 // propagation and continues with the next queued packet.
 func (p *Port) transmitNext() {
-	if p.qLen == 0 {
+	if p.qLen == 0 || p.paused {
 		p.busy = false
 		return
 	}

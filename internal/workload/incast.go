@@ -48,6 +48,17 @@ type IncastConfig struct {
 	ServiceTime sim.Duration
 	// Seed drives the service-jitter/service-time streams.
 	Seed uint64
+
+	// RequestRetry re-issues a round's request to every worker that has
+	// sent nothing back after this interval, repeating until the first
+	// response byte arrives. Requests are raw control packets with no
+	// transport-layer recovery, so a request destroyed mid-flight (a link
+	// blackout or injected loss from internal/fault) would otherwise hang
+	// the round barrier forever. Workers serve each round's request at
+	// most once, so a duplicate request is a no-op. Zero disables retries
+	// — the right setting on a fault-free network, where requests cannot
+	// be destroyed.
+	RequestRetry sim.Duration
 }
 
 func (c IncastConfig) validate() {
@@ -110,6 +121,10 @@ type Incast struct {
 	recvd      []int64
 	doneFlows  int
 	statsMark  []tcp.SenderStats // per-flow snapshot at round start
+	// servedRound[i] is the last round whose request flow i's worker has
+	// served (-1 initially): the dedup that makes request retries
+	// idempotent.
+	servedRound []int
 
 	results []RoundResult
 
@@ -129,15 +144,19 @@ type Incast struct {
 func NewIncast(sched *sim.Scheduler, tt *netsim.TwoTier, cfg IncastConfig) *Incast {
 	cfg.validate()
 	in := &Incast{
-		sched:     sched,
-		tt:        tt,
-		cfg:       cfg,
-		senders:   make(map[packet.FlowID]*tcp.Sender, cfg.Flows),
-		recvd:     make([]int64, cfg.Flows),
-		statsMark: make([]tcp.SenderStats, cfg.Flows),
-		rng:       sim.NewRNG(cfg.Seed ^ 0x1ca5717e),
-		cpuFree:   make(map[packet.NodeID]sim.Time),
-		workerOf:  make(map[packet.FlowID]packet.NodeID),
+		sched:       sched,
+		tt:          tt,
+		cfg:         cfg,
+		senders:     make(map[packet.FlowID]*tcp.Sender, cfg.Flows),
+		recvd:       make([]int64, cfg.Flows),
+		statsMark:   make([]tcp.SenderStats, cfg.Flows),
+		servedRound: make([]int, cfg.Flows),
+		rng:         sim.NewRNG(cfg.Seed ^ 0x1ca5717e),
+		cpuFree:     make(map[packet.NodeID]sim.Time),
+		workerOf:    make(map[packet.FlowID]packet.NodeID),
+	}
+	for i := range in.servedRound {
+		in.servedRound[i] = -1
 	}
 	for i := 0; i < cfg.Flows; i++ {
 		i := i
@@ -191,14 +210,45 @@ func (in *Incast) startRound() {
 	// The aggregator's requests are real 40-byte packets sharing the
 	// reverse path with ACKs; every worker receives its request at nearly
 	// the same instant — the synchronization at the heart of incast.
-	for i, c := range in.conns {
-		in.tt.Aggregator.Send(&packet.Packet{
-			Dst:      c.Receiver.Peer(),
-			Flow:     packet.FlowID(i + 1),
-			Flags:    packet.FlagREQ,
-			ReqBytes: in.cfg.BytesPerFlow,
-			SendTime: in.sched.Now(),
-		})
+	for i := range in.conns {
+		in.sendRequest(i)
+	}
+	if in.cfg.RequestRetry > 0 {
+		round := in.round
+		in.sched.After(in.cfg.RequestRetry, func() { in.retryRequests(round) })
+	}
+}
+
+// sendRequest issues the current round's request to flow i's worker. Seq
+// carries the round number so workers can discard duplicates.
+func (in *Incast) sendRequest(i int) {
+	in.tt.Aggregator.Send(&packet.Packet{
+		Dst:      in.conns[i].Receiver.Peer(),
+		Flow:     packet.FlowID(i + 1),
+		Seq:      int64(in.round),
+		Flags:    packet.FlagREQ,
+		ReqBytes: in.cfg.BytesPerFlow,
+		SendTime: in.sched.Now(),
+	})
+}
+
+// retryRequests re-issues the round's request to every flow that has
+// delivered nothing yet, then re-arms itself while any such flow remains.
+// Flows with partial data are left alone: their request arrived, and loss
+// recovery is the transport's job.
+func (in *Incast) retryRequests(round int) {
+	if in.round != round {
+		return // the round closed while the timer was pending
+	}
+	pending := false
+	for i := range in.conns {
+		if in.recvd[i] == 0 {
+			pending = true
+			in.sendRequest(i)
+		}
+	}
+	if pending {
+		in.sched.After(in.cfg.RequestRetry, func() { in.retryRequests(round) })
 	}
 }
 
@@ -210,6 +260,11 @@ func (in *Incast) onRequest(pkt *packet.Packet) {
 	if !ok {
 		panic(fmt.Sprintf("workload: request for unknown flow %d", pkt.Flow))
 	}
+	i := int(pkt.Flow) - 1
+	if int(pkt.Seq) <= in.servedRound[i] {
+		return // duplicate of a request already being served
+	}
+	in.servedRound[i] = int(pkt.Seq)
 	n := pkt.ReqBytes
 	delay := sim.Duration(0)
 	if in.cfg.ServiceJitter > 0 {

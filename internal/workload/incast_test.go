@@ -241,3 +241,78 @@ func TestLongFlowEmptyMean(t *testing.T) {
 		t.Error("mean of no chunks should be 0")
 	}
 }
+
+// requestRetryFixture runs a 2-flow incast whose round-0 requests are
+// destroyed: the aggregator's uplink is blackholed at request-issue time
+// and restored 2ms later. Requests are bare control packets with no
+// transport recovery, so only the workload-level retry can save the round.
+func requestRetryFixture(t *testing.T, retry sim.Duration) *Incast {
+	t.Helper()
+	sched := sim.NewScheduler()
+	tt := netsim.NewTwoTier(sched, 3, 3, netsim.DefaultTopologyConfig())
+	in := NewIncast(sched, tt, IncastConfig{
+		Flows:        2,
+		BytesPerFlow: 32 << 10,
+		Rounds:       2,
+		Factory:      dctcpFactory(10 * sim.Millisecond),
+		RequestRetry: retry,
+	})
+	tt.Aggregator.Uplink().Link().SetDown(true)
+	sched.After(2*sim.Millisecond, func() { tt.Aggregator.Uplink().Link().SetDown(false) })
+	in.OnFinished = sched.Halt
+	in.Start()
+	sched.RunUntil(sim.Time(60 * sim.Second))
+	return in
+}
+
+// TestRequestRetryRecoversDestroyedRequests pins the workload-level request
+// recovery: with RequestRetry set, a round whose requests were all
+// destroyed in flight is re-issued and the run completes; without it, the
+// barrier hangs forever — the regression that froze fault-injected runs.
+func TestRequestRetryRecoversDestroyedRequests(t *testing.T) {
+	if in := requestRetryFixture(t, 0); in.Finished() {
+		t.Fatal("run finished with requests destroyed and retries disabled; fixture no longer exercises the hang")
+	}
+	in := requestRetryFixture(t, 5*sim.Millisecond)
+	if !in.Finished() {
+		t.Fatal("run hung despite request retries")
+	}
+	if got := len(in.Results()); got != 2 {
+		t.Fatalf("rounds completed = %d, want 2", got)
+	}
+	for i, r := range in.Results() {
+		if r.Bytes != 64<<10 {
+			t.Errorf("round %d bytes = %d, want %d", i, r.Bytes, 64<<10)
+		}
+	}
+}
+
+// TestDuplicateRequestServedOnce pins the retry's idempotence: a duplicate
+// request for a round already being served must not re-trigger the
+// response, or retries would double the round's bytes and trip the
+// received-bytes invariant.
+func TestDuplicateRequestServedOnce(t *testing.T) {
+	sched := sim.NewScheduler()
+	tt := netsim.NewTwoTier(sched, 3, 3, netsim.DefaultTopologyConfig())
+	in := NewIncast(sched, tt, IncastConfig{
+		Flows:        1,
+		BytesPerFlow: 8 << 10,
+		Rounds:       1,
+		Factory:      dctcpFactory(10 * sim.Millisecond),
+		// Retry far faster than the response completes, guaranteeing
+		// duplicate requests land on a worker mid-service.
+		RequestRetry: 10 * sim.Microsecond,
+	})
+	in.OnFinished = sched.Halt
+	in.Start()
+	sched.RunUntil(sim.Time(60 * sim.Second))
+	if !in.Finished() {
+		t.Fatal("incast did not finish")
+	}
+	// The received-bytes invariant (check.AtMost in onData) would have
+	// panicked on a double-served request; finishing with the exact byte
+	// count is the positive half.
+	if got := in.Results()[0].Bytes; got != 8<<10 {
+		t.Fatalf("round bytes = %d, want %d", got, 8<<10)
+	}
+}
