@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fmt-check lint check bench alloc-check fault-smoke baseline clean
+.PHONY: all build vet test race fmt-check lint check bench alloc-check fault-smoke sweep-smoke baseline clean
 
 all: check
 
@@ -33,7 +33,7 @@ fmt-check:
 lint:
 	$(GO) run ./cmd/simlint ./...
 
-check: build vet fmt-check lint race fault-smoke
+check: build vet fmt-check lint race fault-smoke sweep-smoke
 
 # Fault-injection smoke: a full-mix faulted sweep must complete, stay
 # deterministic, conserve every packet/byte, and keep DCTCP+ no worse than
@@ -41,6 +41,27 @@ check: build vet fmt-check lint race fault-smoke
 fault-smoke:
 	$(GO) test -run 'Faulted|Conservation|Resilience|RequestRetry' \
 		./internal/fault ./internal/exp ./internal/workload
+
+# Sweep-orchestration smoke: run a tiny grid twice against the same cache.
+# The second pass must be pure cache replay (100% hit rate) and its
+# aggregate table must be byte-identical to the first pass — the
+# end-to-end guarantee behind internal/sweep's content-addressed cache.
+sweep-smoke:
+	@set -e; dir=$$(mktemp -d); trap 'rm -rf "$$dir"' EXIT; \
+	$(GO) build -o "$$dir/sweep" ./cmd/sweep; \
+	args="-q -name smoke -protocols dctcp+,dctcp -flows 20,40 -seeds 1,2 \
+		-rounds 6 -warmup 2 -rtomin 10ms -cache-dir $$dir/cache"; \
+	"$$dir/sweep" $$args >"$$dir/first.txt"; \
+	"$$dir/sweep" $$args -resume >"$$dir/second.txt"; \
+	grep -q "0 run, 8 cached (hit rate 100%)" "$$dir/second.txt" || { \
+		echo "sweep-smoke: second pass was not pure cache replay:"; \
+		cat "$$dir/second.txt"; exit 1; }; \
+	sed -n '1,/^$$/p' "$$dir/first.txt" >"$$dir/first.tbl"; \
+	sed -n '1,/^$$/p' "$$dir/second.txt" >"$$dir/second.tbl"; \
+	cmp -s "$$dir/first.tbl" "$$dir/second.tbl" || { \
+		echo "sweep-smoke: cached aggregates differ from first pass:"; \
+		diff "$$dir/first.tbl" "$$dir/second.tbl"; exit 1; }; \
+	echo "sweep-smoke: 8/8 cache hits, aggregates byte-identical"
 
 # Benchmarks with the alloc column: the sim, netsim and tcp hot paths must
 # report 0 allocs/op (the AllocsPerRun tests in those packages pin it).

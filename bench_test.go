@@ -11,6 +11,7 @@
 package dctcpplus_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -466,5 +467,37 @@ func BenchmarkExtension_RenoPlus(b *testing.B) {
 		})
 		b.ReportMetric(renoPlus.GoodputMbps.Mean, "renoplus_mbps")
 		b.ReportMetric(reno.GoodputMbps.Mean, "reno_mbps")
+	}
+}
+
+// BenchmarkSweepWorkerScaling runs the same 12-point grid through the
+// sweep orchestrator with 1 and 4 workers. Jobs are independent
+// CPU-bound simulations, so ns/op should shrink near-linearly from
+// jobs=1 to jobs=4 on a machine with >=4 cores (compare the
+// sub-benchmark times; jobs_per_sec makes the throughput explicit; on
+// fewer cores the curve flattens at GOMAXPROCS). No cache is attached —
+// every iteration must execute every job, or the pool would have
+// nothing to parallelize.
+func BenchmarkSweepWorkerScaling(b *testing.B) {
+	spec := dcp.SweepSpec{
+		Name:         "bench-scaling",
+		Protocols:    []string{"dctcp+", "dctcp"},
+		Flows:        []int{40, 80},
+		RTOMins:      []dcp.Duration{10 * dcp.Millisecond},
+		Seeds:        []uint64{1, 2, 3},
+		Rounds:       benchRounds,
+		WarmupRounds: benchWarmup,
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("jobs=%d", workers), func(b *testing.B) {
+			runner := dcp.SweepRunner{Workers: workers}
+			for i := 0; i < b.N; i++ {
+				out, err := runner.Run(context.Background(), spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(out.Jobs)*float64(b.N)/b.Elapsed().Seconds(), "jobs_per_sec")
+			}
+		})
 	}
 }

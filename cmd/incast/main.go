@@ -11,9 +11,16 @@
 //	incast -protocols dctcp,tcp -rtomin 10ms -flows 20,60,120,200  # Fig. 8
 //	incast -protocols dctcp+ -flows 200 -rounds 1000               # paper scale
 //	incast -protocols dctcp+,dctcp -flows 150 -faults all          # resilience
+//	incast -flows 200 -rounds 500 -cache-dir .sweepcache           # memoized
+//
+// The point grid runs through the sweep orchestrator (internal/sweep):
+// -jobs bounds the worker pool, and with -cache-dir completed points are
+// content-addressed on disk, so repeating or extending a run only computes
+// what changed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -41,6 +48,10 @@ func main() {
 		faults = flag.String("faults", "",
 			"inject faults of these classes (comma-separated: blackout,loss,rate,delay,buffer,stall; \"all\" for every class; empty disables)")
 		faultSeed = flag.Uint64("faultseed", 1, "seed of the fault-plan generator")
+		jobs      = flag.Int("jobs", dcp.DefaultSweepWorkers(), "concurrent experiment points (workers)")
+		cacheDir  = flag.String("cache-dir", "",
+			"content-addressed result cache directory (empty disables caching)")
+		resume = flag.Bool("resume", false, "continue a sweep whose manifest already exists in -cache-dir")
 	)
 	flag.Parse()
 
@@ -48,9 +59,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "incast:", err)
 		os.Exit(2)
 	}
+	if err := validateSweepFlags(*jobs, *cacheDir, *resume); err != nil {
+		fmt.Fprintln(os.Stderr, "incast:", err)
+		os.Exit(2)
+	}
 
-	gen, err := parseFaultGen(*faults, *faultSeed)
-	if err != nil {
+	// Parse the fault spec eagerly so a bad class list is a usage error,
+	// even though the spec string itself rides into the sweep spec.
+	if _, err := parseFaultGen(*faults, *faultSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "incast:", err)
 		os.Exit(2)
 	}
@@ -66,26 +82,48 @@ func main() {
 		os.Exit(2)
 	}
 
-	var all []dcp.IncastResult
-	for _, name := range strings.Split(*protocols, ",") {
-		p, err := dcp.ParseProtocol(strings.TrimSpace(name))
+	spec := dcp.SweepSpec{
+		Name:         "incast",
+		Protocols:    splitCSV(*protocols),
+		Flows:        flowCounts,
+		RTOMins:      []dcp.Duration{dcp.Duration(*rtoMin)},
+		Seeds:        []uint64{*seed},
+		Faults:       []string{*faults},
+		FaultSeed:    *faultSeed,
+		Rounds:       *rounds,
+		WarmupRounds: *warmup,
+		TotalBytes:   *total,
+		BytesPerFlow: *per,
+		Jitter:       dcp.Duration(*jitter),
+	}
+	runner := dcp.SweepRunner{Workers: *jobs, Resume: *resume, Telemetry: reg}
+	if *cacheDir != "" {
+		cache, err := dcp.OpenSweepCache(*cacheDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "incast:", err)
-			os.Exit(2)
+			os.Exit(1)
 		}
-		o := dcp.DefaultIncastOptions(p, 0)
-		o.Rounds = *rounds
-		o.WarmupRounds = *warmup
-		o.TotalBytes = *total
-		o.BytesPerFlow = *per
-		o.RTOMin = dcp.Duration(*rtoMin)
-		o.Testbed.ServiceJitter = dcp.Duration(*jitter)
-		o.Testbed.Seed = *seed
-		o.Telemetry = reg
-		o.Faults = gen
-		all = append(all, dcp.SweepIncastParallel(o, flowCounts)...)
+		runner.Cache = cache
+	}
+	out, err := runner.Run(context.Background(), spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "incast:", err)
+		os.Exit(1)
+	}
+
+	all := make([]dcp.IncastResult, 0, len(out.Results))
+	for _, r := range out.Results {
+		row, err := r.Incast()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "incast:", err)
+			os.Exit(1)
+		}
+		all = append(all, row)
 	}
 	dcp.PrintIncastRows(os.Stdout, all)
+	if runner.Cache != nil {
+		fmt.Printf("cache: %d hit, %d run -> %s\n", out.Hits, out.Misses, *cacheDir)
+	}
 
 	if reg != nil {
 		f, err := os.Create(*telOut)
@@ -115,4 +153,14 @@ func parseInts(csv string) ([]int, error) {
 		out = append(out, n)
 	}
 	return out, nil
+}
+
+func splitCSV(csv string) []string {
+	var out []string
+	for _, f := range strings.Split(csv, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	dcp "dctcpplus"
@@ -27,6 +29,26 @@ func validateFlags(rounds, warmup int, total, perflow int64, rtoMin, jitter time
 		return fmt.Errorf("-rtomin %v: must be positive", rtoMin)
 	case jitter < 0:
 		return fmt.Errorf("-jitter %v: cannot be negative", jitter)
+	}
+	return nil
+}
+
+// validateSweepFlags rejects orchestration settings the sweep runner
+// cannot honor: the worker pool needs at least one worker, the cache
+// directory's parent must already exist (a typo'd path should fail loudly,
+// not mint a directory tree), and resume without a cache is meaningless.
+func validateSweepFlags(jobs int, cacheDir string, resume bool) error {
+	switch {
+	case jobs < 1:
+		return fmt.Errorf("-jobs %d: need at least one worker", jobs)
+	case resume && cacheDir == "":
+		return fmt.Errorf("-resume: requires -cache-dir (resume replays the cache)")
+	}
+	if cacheDir != "" {
+		parent := filepath.Dir(filepath.Clean(cacheDir))
+		if fi, err := os.Stat(parent); err != nil || !fi.IsDir() {
+			return fmt.Errorf("-cache-dir %s: parent directory %s does not exist", cacheDir, parent)
+		}
 	}
 	return nil
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +28,10 @@ var (
 		"write the run manifest (config, seed, code version, instrument dump) to this JSON file; diffable against BENCH_baseline.json")
 	faults = flag.Bool("faults", false,
 		"append the fault-injection resilience sweep (DCTCP vs DCTCP+ clean and under each fault class)")
+	jobs     = flag.Int("jobs", dcp.DefaultSweepWorkers(), "concurrent experiment points (workers)")
+	cacheDir = flag.String("cache-dir", "",
+		"content-addressed result cache for the sweep-backed sections (empty disables caching)")
+	resume = flag.Bool("resume", false, "continue a battery whose manifest already exists in -cache-dir")
 )
 
 // figure is the common surface of the typed per-figure experiments.
@@ -49,6 +54,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "report:", err)
 		os.Exit(2)
 	}
+	if err := validateSweepFlags(*jobs, *cacheDir, *resume); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(2)
+	}
+	dcp.SetParallelism(*jobs)
 	start := time.Now()
 	scale := dcp.Scale{Rounds: *rounds, Warmup: *warmup, Seed: *seed}
 	if *telOut != "" || *baseline != "" {
@@ -249,18 +259,62 @@ func ablations(sc dcp.Scale) {
 		fmt.Printf("divisor=%-6v goodput=%5.0f Mbps fct=%7.2fms timeouts=%d\n",
 			div, r.GoodputMbps.Mean, r.FCTms.Mean, r.Timeouts)
 	}
-	rows := dcp.RunMany([]dcp.IncastOptions{
-		opts(dcp.ProtoDCTCPPlus, 160),
-		opts(dcp.ProtoDCTCPPlusPartial, 160),
-		opts(dcp.ProtoDCTCP, 80),
-		opts(dcp.ProtoDCTCPMin1, 80),
-		opts(dcp.ProtoDCTCPMin1, 120),
-		opts(dcp.ProtoRenoPlus, 80),
-		opts(dcp.ProtoTCP, 80),
-		opts(dcp.ProtoD2TCP, 120),
-		opts(dcp.ProtoD2TCPPlus, 120),
+	// The standard-protocol comparison grid runs through the sweep
+	// orchestrator: every cell is a plain (protocol, N) point, so it is
+	// content-addressable and the -cache-dir/-resume flags apply. The
+	// custom-factory loops above stay direct — a factory closure has no
+	// canonical serialization to key a cache on.
+	pt := func(proto string, n int) dcp.SweepPoint {
+		return dcp.SweepPoint{
+			Topo:         dcp.SweepTopoDefault,
+			Proto:        proto,
+			Flows:        n,
+			RTOMin:       200 * dcp.Millisecond,
+			Seed:         sc.Seed,
+			Rounds:       sc.Rounds,
+			WarmupRounds: sc.Warmup,
+			TotalBytes:   1 << 20,
+			Jitter:       4 * dcp.Millisecond,
+			MaxSimTime:   30 * 60 * dcp.Second,
+		}
+	}
+	runner := dcp.SweepRunner{Workers: *jobs, Resume: *resume, Telemetry: sc.Telemetry}
+	if *cacheDir != "" {
+		cache, err := dcp.OpenSweepCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		runner.Cache = cache
+	}
+	out, err := runner.RunPoints(context.Background(), "report-ablations", []dcp.SweepPoint{
+		pt("dctcp+", 160),
+		pt("dctcp+partial", 160),
+		pt("dctcp", 80),
+		pt("dctcp-min1", 80),
+		pt("dctcp-min1", 120),
+		pt("reno+", 80),
+		pt("tcp", 80),
+		pt("d2tcp", 120),
+		pt("d2tcp+", 120),
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	rows := make([]dcp.IncastResult, 0, len(out.Results))
+	for _, r := range out.Results {
+		row, err := r.Incast()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		rows = append(rows, row)
+	}
 	dcp.PrintIncastRows(os.Stdout, rows)
+	if runner.Cache != nil {
+		fmt.Printf("(sweep cache: %d hit, %d run)\n", out.Hits, out.Misses)
+	}
 
 	// HULL composition: DCTCP over phantom-queue switches.
 	hull := opts(dcp.ProtoDCTCP, 40)

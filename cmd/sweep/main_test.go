@@ -1,0 +1,78 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	dcp "dctcpplus"
+)
+
+func TestValidateSweepFlags(t *testing.T) {
+	parent := t.TempDir()
+	cases := []struct {
+		name     string
+		jobs     int
+		cacheDir string
+		resume   bool
+		wantErr  bool
+	}{
+		{"defaults, no cache", 4, "", false, false},
+		{"single worker", 1, "", false, false},
+		{"cache under existing parent", 2, parent + "/cache", false, false},
+		{"resume with cache", 2, parent + "/cache", true, false},
+		{"zero jobs", 0, "", false, true},
+		{"negative jobs", -3, "", false, true},
+		{"nonexistent cache parent", 2, parent + "/no/such/cache", false, true},
+		{"resume without cache", 2, "", true, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateSweepFlags(c.jobs, c.cacheDir, c.resume)
+			if (err != nil) != c.wantErr {
+				t.Errorf("validateSweepFlags(%d, %q, %v) = %v, wantErr=%v",
+					c.jobs, c.cacheDir, c.resume, err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestBuildSpec(t *testing.T) {
+	spec, err := buildSpec("t", "dctcp+,dctcp", "40,80", "200ms,10ms", "1,2,3",
+		"default,hull", "none;all;loss,delay", 7, 50, 10, 1<<20, 0, 4*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Protocols) != 2 || len(spec.Flows) != 2 || len(spec.RTOMins) != 2 ||
+		len(spec.Seeds) != 3 || len(spec.Topos) != 2 || len(spec.Faults) != 3 {
+		t.Fatalf("spec dimensions wrong: %+v", spec)
+	}
+	if spec.Faults[0] != "" || spec.Faults[1] != "all" || spec.Faults[2] != "loss,delay" {
+		t.Fatalf("fault plans wrong: %v", spec.Faults)
+	}
+	if spec.RTOMins[1] != 10*dcp.Millisecond {
+		t.Fatalf("rtomin parse wrong: %v", spec.RTOMins)
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("built spec does not validate: %v", err)
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2*2*2*3*2*3 {
+		t.Fatalf("expanded %d jobs, want 144", len(jobs))
+	}
+
+	bad := []struct{ flows, rtomin, seeds string }{
+		{"40,zero", "200ms", "1"},
+		{"40", "200", "1"}, // missing unit
+		{"40", "-5ms", "1"},
+		{"40", "200ms", "minus-one"},
+	}
+	for _, b := range bad {
+		if _, err := buildSpec("t", "dctcp", b.flows, b.rtomin, b.seeds,
+			"default", "none", 1, 50, 10, 1<<20, 0, time.Millisecond); err == nil {
+			t.Errorf("buildSpec accepted flows=%q rtomin=%q seeds=%q", b.flows, b.rtomin, b.seeds)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	dcp "dctcpplus"
+)
+
+// validateSweepFlags rejects orchestration settings the runner cannot
+// honor: a worker pool needs at least one worker, a cache needs a creatable
+// directory (its parent must exist — a typo'd path should fail loudly, not
+// mint a directory tree), and resume is meaningless without a cache.
+func validateSweepFlags(jobs int, cacheDir string, resume bool) error {
+	switch {
+	case jobs < 1:
+		return fmt.Errorf("-jobs %d: need at least one worker", jobs)
+	case resume && cacheDir == "":
+		return fmt.Errorf("-resume: requires -cache-dir (resume replays the cache)")
+	}
+	if cacheDir != "" {
+		parent := filepath.Dir(filepath.Clean(cacheDir))
+		if fi, err := os.Stat(parent); err != nil || !fi.IsDir() {
+			return fmt.Errorf("-cache-dir %s: parent directory %s does not exist", cacheDir, parent)
+		}
+	}
+	return nil
+}
+
+// buildSpec assembles the declarative grid from the flag surface. The
+// Spec's own Validate (run by the runner) is the semantic gate; this layer
+// only parses.
+func buildSpec(name, protocols, flows, rtomin, seeds, topos, faults string,
+	faultSeed uint64, rounds, warmup int, total, per int64, jitter time.Duration) (dcp.SweepSpec, error) {
+	flowCounts, err := parsePositiveInts(flows)
+	if err != nil {
+		return dcp.SweepSpec{}, err
+	}
+	rtoMins, err := parseDurations(rtomin)
+	if err != nil {
+		return dcp.SweepSpec{}, err
+	}
+	seedList, err := parseUints(seeds)
+	if err != nil {
+		return dcp.SweepSpec{}, err
+	}
+	return dcp.SweepSpec{
+		Name:         name,
+		Protocols:    splitCSV(protocols),
+		Flows:        flowCounts,
+		RTOMins:      rtoMins,
+		Seeds:        seedList,
+		Topos:        splitCSV(topos),
+		Faults:       parseFaultPlans(faults),
+		FaultSeed:    faultSeed,
+		Rounds:       rounds,
+		WarmupRounds: warmup,
+		TotalBytes:   total,
+		BytesPerFlow: per,
+		Jitter:       dcp.Duration(jitter),
+	}, nil
+}
+
+func splitCSV(csv string) []string {
+	var out []string
+	for _, f := range strings.Split(csv, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// parseFaultPlans splits the semicolon-separated plan list, mapping the
+// explicit "none" spelling to the empty (clean) plan.
+func parseFaultPlans(spec string) []string {
+	var out []string
+	for _, plan := range strings.Split(spec, ";") {
+		plan = strings.TrimSpace(plan)
+		if plan == "none" {
+			plan = ""
+		}
+		out = append(out, plan)
+	}
+	return out
+}
+
+func parsePositiveInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad flow count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseUints(csv string) ([]uint64, error) {
+	var out []uint64
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseDurations(csv string) ([]dcp.Duration, error) {
+	var out []dcp.Duration
+	for _, f := range strings.Split(csv, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(f))
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad duration %q", f)
+		}
+		out = append(out, dcp.Duration(d))
+	}
+	return out, nil
+}

@@ -27,6 +27,7 @@
 //	internal/stats    summaries, CDFs, histograms
 //	internal/trace    cwnd probes and queue samplers
 //	internal/exp      per-figure experiment runners
+//	internal/sweep    grid orchestration: worker pool, result cache, resume
 //
 // # Quick start
 //
@@ -47,6 +48,8 @@ import (
 	"dctcpplus/internal/fault"
 	"dctcpplus/internal/sim"
 	"dctcpplus/internal/stats"
+	"dctcpplus/internal/sweep"
+	"dctcpplus/internal/sweep/pool"
 	"dctcpplus/internal/telemetry"
 	"dctcpplus/internal/workload"
 )
@@ -152,6 +155,57 @@ func SweepIncastParallel(base IncastOptions, flowCounts []int) []IncastResult {
 
 // RunMany executes heterogeneous incast points concurrently.
 func RunMany(optList []IncastOptions) []IncastResult { return exp.RunMany(optList) }
+
+// Sweep orchestration (internal/sweep): declare a parameter grid as a
+// SweepSpec, run it with a SweepRunner, and get cross-seed streaming
+// aggregates plus a content-addressed cache that lets identical points be
+// reused across runs and interrupted sweeps resume.
+type (
+	// SweepSpec declares a sweep as a cross product of grid dimensions.
+	SweepSpec = sweep.Spec
+	// SweepPoint is the complete identity of one sweep job.
+	SweepPoint = sweep.Point
+	// SweepJob is one expanded grid point with its position.
+	SweepJob = sweep.Job
+	// SweepResult is the cacheable outcome of one job.
+	SweepResult = sweep.Result
+	// SweepRunner executes sweeps over a bounded worker pool.
+	SweepRunner = sweep.Runner
+	// SweepOutcome is the full accounting of one sweep run.
+	SweepOutcome = sweep.Outcome
+	// SweepGroup is the cross-seed aggregate of one experiment point.
+	SweepGroup = sweep.Group
+	// SweepCache is the content-addressed on-disk result store.
+	SweepCache = sweep.Cache
+)
+
+// Topology names accepted by SweepSpec.Topos / SweepPoint.Topo.
+const (
+	SweepTopoDefault = sweep.TopoDefault
+	SweepTopoHULL    = sweep.TopoHULL
+)
+
+// OpenSweepCache opens (creating if needed) a sweep result cache at dir.
+func OpenSweepCache(dir string) (*SweepCache, error) { return sweep.OpenCache(dir) }
+
+// LargeNSweepSpec returns the massive-concurrency scenario (N=100..2000,
+// DCTCP+ vs DCTCP) behind EXPERIMENTS.md's large-N table.
+func LargeNSweepSpec() SweepSpec { return sweep.LargeNSpec() }
+
+// WriteSweepGroups renders the cross-seed aggregate table.
+func WriteSweepGroups(w io.Writer, groups []*SweepGroup) error {
+	return sweep.WriteGroups(w, groups)
+}
+
+// DefaultSweepWorkers is the worker-pool width used when a runner's
+// Workers field (or a command's -jobs flag) is left at its default: one
+// worker per available CPU.
+func DefaultSweepWorkers() int { return pool.DefaultWorkers() }
+
+// SetParallelism sets the worker count the *Parallel sweep variants and
+// RunMany fan out to (a command's -jobs flag lands here). Width changes
+// wall-clock time only, never results.
+func SetParallelism(n int) { exp.Parallelism = n }
 
 // RunBackgroundIncast executes incast concurrently with long flows.
 func RunBackgroundIncast(o BackgroundIncastOptions) BackgroundIncastResult {

@@ -1,55 +1,22 @@
 package exp
 
 import (
-	"runtime"
-	"sync"
+	"dctcpplus/internal/sweep/pool"
 )
 
 // Parallelism controls how many experiment points run concurrently in the
 // *Parallel sweep variants. Each point is an independent, fully
 // deterministic simulation, so running them on separate goroutines changes
-// wall-clock time only — never results.
-var Parallelism = runtime.GOMAXPROCS(0)
-
-// parallelFor runs fn(i) for i in [0, n) across min(Parallelism, n)
-// workers.
-func parallelFor(n int, fn func(i int)) {
-	workers := Parallelism
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-}
+// wall-clock time only — never results. The fan-out itself is the shared
+// worker pool in internal/sweep/pool; this variable only sets its width for
+// the exp-level sweeps (internal/sweep's Runner has its own Workers knob).
+var Parallelism = pool.DefaultWorkers()
 
 // SweepIncastParallel is SweepIncast with the points executed concurrently.
 // Results are positionally identical to the sequential sweep.
 func SweepIncastParallel(base IncastOptions, flowCounts []int) []IncastResult {
 	out := make([]IncastResult, len(flowCounts))
-	parallelFor(len(flowCounts), func(i int) {
+	pool.ForEach(Parallelism, len(flowCounts), func(i int) {
 		o := base
 		o.Flows = flowCounts[i]
 		out[i] = RunIncast(o)
@@ -61,7 +28,7 @@ func SweepIncastParallel(base IncastOptions, flowCounts []int) []IncastResult {
 // executed concurrently.
 func SweepBackgroundIncastParallel(base BackgroundIncastOptions, flowCounts []int) []BackgroundIncastResult {
 	out := make([]BackgroundIncastResult, len(flowCounts))
-	parallelFor(len(flowCounts), func(i int) {
+	pool.ForEach(Parallelism, len(flowCounts), func(i int) {
 		o := base
 		o.Incast.Flows = flowCounts[i]
 		out[i] = RunBackgroundIncast(o)
@@ -72,7 +39,7 @@ func SweepBackgroundIncastParallel(base BackgroundIncastOptions, flowCounts []in
 // RunMany executes a batch of heterogeneous incast points concurrently.
 func RunMany(optList []IncastOptions) []IncastResult {
 	out := make([]IncastResult, len(optList))
-	parallelFor(len(optList), func(i int) {
+	pool.ForEach(Parallelism, len(optList), func(i int) {
 		out[i] = RunIncast(optList[i])
 	})
 	return out

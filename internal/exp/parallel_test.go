@@ -1,7 +1,6 @@
 package exp
 
 import (
-	"sync/atomic"
 	"testing"
 )
 
@@ -22,26 +21,21 @@ func TestParallelSweepMatchesSequential(t *testing.T) {
 	}
 }
 
-func TestParallelForCoversAllIndices(t *testing.T) {
-	const n = 100
-	var hits [n]int32
-	parallelFor(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
-	for i, h := range hits {
-		if h != 1 {
-			t.Fatalf("index %d executed %d times", i, h)
-		}
-	}
-}
-
-func TestParallelForZeroAndOne(t *testing.T) {
-	parallelFor(0, func(int) { t.Fatal("fn called for n=0") })
-	called := 0
+// TestParallelismOneMatchesDefault pins the consolidation contract: the
+// exp-level sweeps ride the shared pool (internal/sweep/pool), and results
+// must be independent of its width.
+func TestParallelismOneMatchesDefault(t *testing.T) {
+	base := fastIncastOpts(ProtoDCTCP, 0)
+	counts := []int{4, 8}
+	wide := SweepIncastParallel(base, counts)
 	old := Parallelism
 	Parallelism = 1
 	defer func() { Parallelism = old }()
-	parallelFor(3, func(int) { called++ })
-	if called != 3 {
-		t.Errorf("called = %d", called)
+	narrow := SweepIncastParallel(base, counts)
+	for i := range wide {
+		if wide[i].GoodputMbps != narrow[i].GoodputMbps || wide[i].Timeouts != narrow[i].Timeouts {
+			t.Errorf("point %d differs across pool widths", i)
+		}
 	}
 }
 

@@ -47,15 +47,17 @@ type Program struct {
 	order     []*funcNode            // nodes in deterministic declaration order
 	byName    map[string][]*funcNode // methods indexed by name, for interface expansion
 	hotFrom   map[*types.Func]*types.Func
+	sweepFrom map[*types.Func]*types.Func
 	terminals map[*types.Func]bool
 }
 
 // funcNode is one declared function in the call graph.
 type funcNode struct {
-	fn   *types.Func
-	decl *ast.FuncDecl
-	pkg  *Package
-	hot  bool // carries the //hot:path annotation
+	fn    *types.Func
+	decl  *ast.FuncDecl
+	pkg   *Package
+	hot   bool // carries the //hot:path annotation
+	sweep bool // carries the //sweep:job annotation
 
 	edges []callEdge
 }
@@ -81,11 +83,21 @@ func (prog *Program) add(p *Package) {
 // hotAnnotated reports whether the declaration's doc comment carries a
 // //hot:path line.
 func hotAnnotated(decl *ast.FuncDecl) bool {
+	return docAnnotated(decl, "//hot:path")
+}
+
+// sweepAnnotated reports whether the declaration's doc comment carries a
+// //sweep:job line, marking it as a worker-executed sweep job body.
+func sweepAnnotated(decl *ast.FuncDecl) bool {
+	return docAnnotated(decl, "//sweep:job")
+}
+
+func docAnnotated(decl *ast.FuncDecl, marker string) bool {
 	if decl.Doc == nil {
 		return false
 	}
 	for _, c := range decl.Doc.List {
-		if strings.TrimSpace(c.Text) == "//hot:path" {
+		if strings.TrimSpace(c.Text) == marker {
 			return true
 		}
 	}
@@ -135,6 +147,7 @@ func (prog *Program) build() {
 	prog.order = prog.order[:0]
 	prog.byName = make(map[string][]*funcNode)
 	prog.hotFrom = make(map[*types.Func]*types.Func)
+	prog.sweepFrom = make(map[*types.Func]*types.Func)
 	prog.terminals = make(map[*types.Func]bool)
 
 	// Pass 1: one node per declared function with a body.
@@ -149,7 +162,7 @@ func (prog *Program) build() {
 				if !ok {
 					continue
 				}
-				n := &funcNode{fn: fn, decl: decl, pkg: p, hot: hotAnnotated(decl)}
+				n := &funcNode{fn: fn, decl: decl, pkg: p, hot: hotAnnotated(decl), sweep: sweepAnnotated(decl)}
 				prog.nodes[fn] = n
 				prog.order = append(prog.order, n)
 				if decl.Recv != nil {
@@ -171,27 +184,36 @@ func (prog *Program) build() {
 		n.edges = prog.collectEdges(n)
 	}
 
-	// Pass 3: breadth-first hot closure, remembering a witness root.
+	// Pass 3: breadth-first closures from the annotation roots, remembering
+	// a witness root per reached function — one closure per annotation
+	// (//hot:path and //sweep:job taints are independent rule sets).
+	prog.closure(prog.hotFrom, func(n *funcNode) bool { return n.hot })
+	prog.closure(prog.sweepFrom, func(n *funcNode) bool { return n.sweep })
+}
+
+// closure runs the breadth-first reachability pass from every node root
+// selects, filling from with a witness root for each reached function.
+func (prog *Program) closure(from map[*types.Func]*types.Func, root func(*funcNode) bool) {
 	var queue []*types.Func
 	for _, n := range prog.order {
-		if n.hot {
-			prog.hotFrom[n.fn] = n.fn
+		if root(n) {
+			from[n.fn] = n.fn
 			queue = append(queue, n.fn)
 		}
 	}
 	for len(queue) > 0 {
 		fn := queue[0]
 		queue = queue[1:]
-		root := prog.hotFrom[fn]
+		witness := from[fn]
 		n := prog.nodes[fn]
 		if n == nil {
 			continue
 		}
 		for _, e := range n.edges {
-			if _, seen := prog.hotFrom[e.callee]; seen {
+			if _, seen := from[e.callee]; seen {
 				continue
 			}
-			prog.hotFrom[e.callee] = root
+			from[e.callee] = witness
 			queue = append(queue, e.callee)
 		}
 	}
@@ -302,12 +324,31 @@ func (prog *Program) isTerminal(fn *types.Func) bool {
 // source order, paired with their witness roots.
 func (prog *Program) hotNodesIn(p *Package) []*funcNode {
 	prog.build()
+	return prog.nodesIn(p, prog.hotFrom)
+}
+
+// sweepReachable reports whether fn is statically reachable from a
+// //sweep:job root, returning one such root as the provenance witness.
+func (prog *Program) sweepReachable(fn *types.Func) (*types.Func, bool) {
+	prog.build()
+	root, ok := prog.sweepFrom[fn]
+	return root, ok
+}
+
+// sweepNodesIn returns the current package's sweep-reachable function
+// nodes in source order.
+func (prog *Program) sweepNodesIn(p *Package) []*funcNode {
+	prog.build()
+	return prog.nodesIn(p, prog.sweepFrom)
+}
+
+func (prog *Program) nodesIn(p *Package, from map[*types.Func]*types.Func) []*funcNode {
 	var out []*funcNode
 	for _, n := range prog.order {
 		if n.pkg != p {
 			continue
 		}
-		if _, ok := prog.hotFrom[n.fn]; ok {
+		if _, ok := from[n.fn]; ok {
 			out = append(out, n)
 		}
 	}

@@ -81,6 +81,7 @@ func All() []*Analyzer {
 		Hotalloc(),
 		Exhaustive(),
 		CallPurity(),
+		SweepSafety(),
 	}
 }
 

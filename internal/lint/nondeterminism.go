@@ -43,21 +43,25 @@ var wallClockFuncs = map[string]bool{
 }
 
 // wallClockAllowed reports whether file may read the wall clock: command
-// binaries (run metadata, progress reporting) and the telemetry manifest
+// binaries (run metadata, progress reporting), the telemetry manifest
 // (CreatedAt is wall-clock by definition and excluded from determinism
-// diffs).
+// diffs), and the sweep runner (per-job wall timings are reporting
+// metadata; they never feed back into simulation state).
 func wallClockAllowed(file string) bool {
 	file = strings.ReplaceAll(file, "\\", "/")
 	return strings.Contains(file, "/cmd/") ||
-		strings.HasSuffix(file, "internal/telemetry/manifest.go")
+		strings.HasSuffix(file, "internal/telemetry/manifest.go") ||
+		strings.HasSuffix(file, "internal/sweep/runner.go")
 }
 
 // goroutineAllowed reports whether pkg may spawn goroutines despite
-// importing the sim engine. internal/exp's sweep driver parallelizes
-// across whole simulations (each goroutine owns a private scheduler), so
-// event interleaving inside any one run is untouched.
+// importing the sim engine. internal/exp's sweep driver and the sweep
+// runner parallelize across whole simulations (each goroutine owns a
+// private scheduler), so event interleaving inside any one run is
+// untouched.
 func goroutineAllowed(pkg string) bool {
-	return pkg == "dctcpplus/internal/exp"
+	return pkg == "dctcpplus/internal/exp" ||
+		pkg == "dctcpplus/internal/sweep"
 }
 
 func runNondeterminism(p *Package) []Diagnostic {

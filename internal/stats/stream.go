@@ -1,0 +1,201 @@
+package stats
+
+import "math"
+
+// This file holds the streaming (bounded-memory) counterparts of Summarize:
+// the sweep orchestrator aggregates thousands of experiment results without
+// retaining samples, folding each value into a Welford accumulator for the
+// moments and a P² marker set per tracked quantile. Estimates are exact up
+// to five samples and converge with O(1) state afterwards, which is what
+// lets a 10k-run sweep report p99s without ever holding 10k floats.
+
+// P2 is the P² (piecewise-parabolic) streaming quantile estimator of Jain &
+// Chlamtac (1985): five markers track the running q-quantile of a sample
+// stream in constant space. For fewer than five samples the estimate is the
+// exact sorted quantile. The zero value is not ready to use; construct with
+// NewP2.
+type P2 struct {
+	q float64 // target quantile in (0, 1)
+
+	// h are the marker heights (estimated sample values), pos the actual
+	// marker positions (1-based ranks), want the desired positions.
+	h    [5]float64
+	pos  [5]float64
+	want [5]float64
+	inc  [5]float64 // per-sample desired-position increments
+
+	n int64
+}
+
+// NewP2 returns a streaming estimator of the q-quantile, q in (0, 1).
+func NewP2(q float64) *P2 {
+	if !(q > 0 && q < 1) {
+		panic("stats: P2 quantile must be in (0, 1)")
+	}
+	p := &P2{q: q}
+	p.want = [5]float64{1, 1 + 2*q, 1 + 4*q, 3 + 2*q, 5}
+	p.inc = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p
+}
+
+// Quantile returns the target quantile this estimator tracks.
+func (p *P2) Quantile() float64 { return p.q }
+
+// N returns the number of samples folded in.
+func (p *P2) N() int64 { return p.n }
+
+// Add folds one sample into the estimator. NaN samples are discarded, the
+// same boundary policy as the batch constructors.
+func (p *P2) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if p.n < 5 {
+		// Insertion-sort the first five observations into the marker
+		// heights; they are exact order statistics at this point.
+		i := p.n
+		for i > 0 && p.h[i-1] > x {
+			p.h[i] = p.h[i-1]
+			i--
+		}
+		p.h[i] = x
+		p.n++
+		if p.n == 5 {
+			for j := range p.pos {
+				p.pos[j] = float64(j + 1)
+			}
+		}
+		return
+	}
+	p.n++
+
+	// Locate the cell containing x and clamp the extremes.
+	var k int
+	switch {
+	case x < p.h[0]:
+		p.h[0] = x
+		k = 0
+	case x >= p.h[4]:
+		p.h[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < p.h[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := range p.want {
+		p.want[i] += p.inc[i]
+	}
+
+	// Nudge the three interior markers toward their desired positions,
+	// preferring the piecewise-parabolic height update and falling back to
+	// linear interpolation when the parabola would break monotonicity.
+	for i := 1; i <= 3; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			s := math.Copysign(1, d)
+			h := p.parabolic(i, s)
+			if p.h[i-1] < h && h < p.h[i+1] {
+				p.h[i] = h
+			} else {
+				p.h[i] = p.linear(i, s)
+			}
+			p.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² quadratic height adjustment for marker i moved by
+// s (±1).
+func (p *P2) parabolic(i int, s float64) float64 {
+	return p.h[i] + s/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+s)*(p.h[i+1]-p.h[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-s)*(p.h[i]-p.h[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+// linear is the fallback height adjustment for marker i moved by s (±1).
+func (p *P2) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return p.h[i] + s*(p.h[j]-p.h[i])/(p.pos[j]-p.pos[i])
+}
+
+// Value returns the current quantile estimate (0 with no samples; the exact
+// sorted quantile below five samples).
+func (p *P2) Value() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	if p.n < 5 {
+		return quantileSorted(p.h[:p.n], p.q)
+	}
+	return p.h[2]
+}
+
+// Stream is the streaming counterpart of Summarize: it folds samples into
+// constant-space accumulators (Welford moments, min/max, P² markers for
+// p50/p95/p99) and renders the same Summary shape on demand. Feed samples
+// in a deterministic order to get bit-identical summaries across runs: the
+// P² marker updates, like any IEEE float recurrence, are order-sensitive.
+type Stream struct {
+	w        Welford
+	min, max float64
+	p50      *P2
+	p95      *P2
+	p99      *P2
+}
+
+// NewStream returns an empty streaming summarizer.
+func NewStream() *Stream {
+	return &Stream{
+		min: math.Inf(1),
+		max: math.Inf(-1),
+		p50: NewP2(0.50),
+		p95: NewP2(0.95),
+		p99: NewP2(0.99),
+	}
+}
+
+// Add folds one sample in. NaN samples are discarded at the boundary, like
+// every other constructor in this package.
+func (s *Stream) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	s.w.Add(x)
+	if x < s.min {
+		s.min = x
+	}
+	if x > s.max {
+		s.max = x
+	}
+	s.p50.Add(x)
+	s.p95.Add(x)
+	s.p99.Add(x)
+}
+
+// N returns the number of samples folded in.
+func (s *Stream) N() int64 { return s.w.N() }
+
+// Summary renders the accumulated state in the batch Summary shape. The
+// percentiles are P² estimates (exact below five samples); Count, Mean,
+// Std, Min and Max are exact.
+func (s *Stream) Summary() Summary {
+	if s.w.N() == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Count: int(s.w.N()),
+		Mean:  s.w.Mean(),
+		Std:   s.w.Std(),
+		Min:   s.min,
+		Max:   s.max,
+		P50:   s.p50.Value(),
+		P95:   s.p95.Value(),
+		P99:   s.p99.Value(),
+	}
+}

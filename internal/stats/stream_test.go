@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// splitmix64 is a tiny seeded generator for test inputs (the shipping code
+// bans math/rand; tests keep the same discipline so inputs are pinned).
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *splitmix64) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// pareto draws from a Pareto(alpha) tail starting at 1 — the heavy-tailed
+// shape of FCT distributions, the worst case for streaming quantiles.
+func (s *splitmix64) pareto(alpha float64) float64 {
+	u := s.float64()
+	for u == 0 {
+		u = s.float64()
+	}
+	return math.Pow(u, -1/alpha)
+}
+
+// TestP2AccuracyHeavyTail bounds the P² estimator's relative error against
+// the exact sorted percentile on seeded heavy-tailed inputs. The bounds are
+// loose enough to be stable across float rounding but tight enough that a
+// broken marker update (the classic off-by-one in the desired-position
+// drift) fails by orders of magnitude.
+func TestP2AccuracyHeavyTail(t *testing.T) {
+	cases := []struct {
+		name  string
+		alpha float64
+		n     int
+		q     float64
+		tol   float64 // relative error bound
+	}{
+		{"p50-mild-tail", 3.0, 20000, 0.50, 0.05},
+		{"p95-mild-tail", 3.0, 20000, 0.95, 0.10},
+		{"p99-mild-tail", 3.0, 20000, 0.99, 0.15},
+		{"p50-heavy-tail", 1.5, 20000, 0.50, 0.05},
+		{"p95-heavy-tail", 1.5, 20000, 0.95, 0.15},
+		{"p99-heavy-tail", 1.5, 20000, 0.99, 0.25},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rng := splitmix64(42)
+			est := NewP2(c.q)
+			samples := make([]float64, c.n)
+			for i := range samples {
+				v := rng.pareto(c.alpha)
+				samples[i] = v
+				est.Add(v)
+			}
+			sort.Float64s(samples)
+			exact := quantileSorted(samples, c.q)
+			got := est.Value()
+			rel := math.Abs(got-exact) / exact
+			if rel > c.tol {
+				t.Errorf("P2(%v) = %.4f, exact = %.4f, rel err %.3f > %.3f",
+					c.q, got, exact, rel, c.tol)
+			}
+		})
+	}
+}
+
+// TestP2SmallSamplesExact verifies the estimator is the exact sorted
+// quantile below five samples, and well-defined at exactly five.
+func TestP2SmallSamplesExact(t *testing.T) {
+	est := NewP2(0.5)
+	if est.Value() != 0 {
+		t.Error("empty estimator should report 0")
+	}
+	vals := []float64{9, 1, 5, 3}
+	for _, v := range vals {
+		est.Add(v)
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	want := quantileSorted(sorted, 0.5)
+	if got := est.Value(); got != want {
+		t.Errorf("4-sample median = %v, want exact %v", got, want)
+	}
+	est.Add(7)
+	if got := est.Value(); got != 5 {
+		t.Errorf("5-sample median = %v, want 5", got)
+	}
+	if est.N() != 5 {
+		t.Errorf("N = %d, want 5", est.N())
+	}
+}
+
+func TestP2DiscardsNaN(t *testing.T) {
+	est := NewP2(0.5)
+	for i := 0; i < 100; i++ {
+		est.Add(float64(i))
+		est.Add(math.NaN())
+	}
+	if est.N() != 100 {
+		t.Errorf("N = %d, want 100 (NaN must not count)", est.N())
+	}
+	if v := est.Value(); math.IsNaN(v) || v < 30 || v > 70 {
+		t.Errorf("median of 0..99 estimated as %v", v)
+	}
+}
+
+func TestP2RejectsDegenerateQuantile(t *testing.T) {
+	for _, q := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2(%v) did not panic", q)
+				}
+			}()
+			NewP2(q)
+		}()
+	}
+}
+
+// TestStreamMatchesSummarizeMoments checks the exact fields (count, mean,
+// std, min, max) agree with the batch path bit-for-bit, and the estimated
+// percentiles stay within bounds, on a seeded heavy-tailed stream.
+func TestStreamMatchesSummarizeMoments(t *testing.T) {
+	rng := splitmix64(7)
+	s := NewStream()
+	var samples []float64
+	for i := 0; i < 10000; i++ {
+		v := rng.pareto(2)
+		samples = append(samples, v)
+		s.Add(v)
+	}
+	batch := Summarize(samples)
+	got := s.Summary()
+	if got.Count != batch.Count || got.Min != batch.Min || got.Max != batch.Max {
+		t.Errorf("exact fields differ: stream %+v batch %+v", got, batch)
+	}
+	// Welford folds in sorted order in Summarize and stream order here, so
+	// compare within float tolerance rather than bit-for-bit.
+	if math.Abs(got.Mean-batch.Mean) > 1e-9*math.Abs(batch.Mean) {
+		t.Errorf("mean drifted: stream %v batch %v", got.Mean, batch.Mean)
+	}
+	if math.Abs(got.Std-batch.Std) > 1e-6*batch.Std {
+		t.Errorf("std drifted: stream %v batch %v", got.Std, batch.Std)
+	}
+	for _, q := range []struct {
+		name       string
+		est, exact float64
+		tol        float64
+	}{
+		{"p50", got.P50, batch.P50, 0.05},
+		{"p95", got.P95, batch.P95, 0.15},
+		{"p99", got.P99, batch.P99, 0.25},
+	} {
+		rel := math.Abs(q.est-q.exact) / q.exact
+		if rel > q.tol {
+			t.Errorf("%s: stream %v vs exact %v (rel %.3f)", q.name, q.est, q.exact, rel)
+		}
+	}
+}
+
+func TestStreamEmptyAndDeterministic(t *testing.T) {
+	if got := NewStream().Summary(); got != (Summary{}) {
+		t.Errorf("empty stream summary = %+v, want zero", got)
+	}
+	// Identical input order must produce bit-identical summaries — the
+	// property the sweep's jobs=1 vs jobs=N equivalence rests on.
+	a, b := NewStream(), NewStream()
+	rng := splitmix64(3)
+	for i := 0; i < 5000; i++ {
+		v := rng.pareto(1.5)
+		a.Add(v)
+		b.Add(v)
+	}
+	if a.Summary() != b.Summary() {
+		t.Error("same-order streams produced different summaries")
+	}
+}

@@ -1,0 +1,125 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+
+	"dctcpplus/internal/stats"
+)
+
+// Group aggregates the replicates (seed × fault-seed variations) of one
+// experiment point. Metrics accumulate through streaming estimators
+// (internal/stats.Stream: Welford moments + P² quantiles), so a sweep with
+// thousands of replicates per point holds a handful of floats, never the
+// sample sets. Streams fold in job-index order — the runner guarantees
+// delivery order — so group summaries are byte-stable across worker
+// counts and cache states.
+type Group struct {
+	// Key is the seed-normalized point identity (Point.GroupKey).
+	Key string
+	// Point is the first member's point, seeds zeroed — the group's
+	// human-facing coordinates.
+	Point Point
+
+	// Jobs counts members folded in; Hits counts those served from cache.
+	Jobs int
+	Hits int
+
+	// Goodput streams the per-replicate mean goodput (Mbps); FCT the
+	// per-replicate mean flow-completion time and FCTp99 the
+	// per-replicate P99 (ms).
+	Goodput *stats.Stream
+	FCT     *stats.Stream
+	FCTp99  *stats.Stream
+
+	// Timeouts totals RTO events across replicates; Drops totals
+	// bottleneck tail drops; FaultsInjected totals fired fault events.
+	Timeouts       int64
+	Drops          int64
+	FaultsInjected int64
+
+	// TimeoutRoundFrac streams the per-replicate timeout-round fraction
+	// (Table I's headline column).
+	TimeoutRoundFrac *stats.Stream
+}
+
+// aggregator folds results into groups keyed by seed-normalized point,
+// preserving first-seen order. Single-goroutine: only the runner's
+// aggregation loop touches it.
+type aggregator struct {
+	byKey map[string]*Group
+	order []*Group
+}
+
+func newAggregator() *aggregator {
+	return &aggregator{byKey: make(map[string]*Group)}
+}
+
+func (a *aggregator) add(r Result, status string) {
+	key := r.Point.GroupKey()
+	g, ok := a.byKey[key]
+	if !ok {
+		pt := r.Point
+		pt.Seed = 0
+		pt.FaultSeed = 0
+		g = &Group{
+			Key:              key,
+			Point:            pt,
+			Goodput:          stats.NewStream(),
+			FCT:              stats.NewStream(),
+			FCTp99:           stats.NewStream(),
+			TimeoutRoundFrac: stats.NewStream(),
+		}
+		a.byKey[key] = g
+		a.order = append(a.order, g)
+	}
+	g.Jobs++
+	if status == StatusHit {
+		g.Hits++
+	}
+	g.Goodput.Add(r.GoodputMbps.Mean)
+	g.FCT.Add(r.FCTms.Mean)
+	g.FCTp99.Add(r.FCTms.P99)
+	g.TimeoutRoundFrac.Add(r.TimeoutRoundFrac)
+	g.Timeouts += r.Timeouts
+	g.Drops += r.BottleneckDrops
+	g.FaultsInjected += r.FaultsInjected
+}
+
+func (a *aggregator) groups() []*Group { return a.order }
+
+// Label renders the group's coordinates compactly: the fields that vary
+// across typical grids, suppressing defaults.
+func (g *Group) Label() string {
+	s := fmt.Sprintf("%s N=%d", g.Point.Proto, g.Point.Flows)
+	if g.Point.Topo != TopoDefault && g.Point.Topo != "" {
+		s += " topo=" + g.Point.Topo
+	}
+	s += fmt.Sprintf(" rtomin=%v", g.Point.RTOMin)
+	if g.Point.Faults != "" {
+		s += " faults=" + g.Point.Faults
+	}
+	return s
+}
+
+// WriteGroups renders the cross-seed aggregate table. The format is fixed
+// and excludes every nondeterministic quantity (wall time, hit counts), so
+// two runs of the same spec against the same build produce byte-identical
+// tables — the property `make sweep-smoke` asserts.
+func WriteGroups(w io.Writer, groups []*Group) error {
+	if _, err := fmt.Fprintf(w, "%-44s %5s %12s %10s %10s %8s %9s\n",
+		"point", "runs", "goodput", "fct_ms", "fct_p99", "to_frac", "timeouts"); err != nil {
+		return err
+	}
+	for _, g := range groups {
+		gp := g.Goodput.Summary()
+		fct := g.FCT.Summary()
+		p99 := g.FCTp99.Summary()
+		tof := g.TimeoutRoundFrac.Summary()
+		if _, err := fmt.Fprintf(w, "%-44s %5d %12.2f %10.3f %10.3f %8.4f %9d\n",
+			g.Label(), g.Jobs, gp.Mean, fct.Mean, p99.Mean, tof.Mean, g.Timeouts); err != nil {
+			return err
+		}
+	}
+	return nil
+}

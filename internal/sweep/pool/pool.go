@@ -1,0 +1,60 @@
+// Package pool is the one worker pool behind every parallel experiment
+// fan-out in this repository: the sweep runner, internal/exp's *Parallel
+// sweep variants, and the resilience grid all draw from it. Each unit of
+// work is an independent, fully deterministic simulation (a private
+// scheduler, private RNG streams), so concurrency changes wall-clock time
+// only — never results. Centralizing the fan-out here keeps that argument
+// in one place instead of re-proving it per call site.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the pool width used when a caller passes workers <= 0:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(i) for every i in [0, n) across min(workers, n)
+// goroutines and returns when all calls have completed. workers <= 0
+// selects DefaultWorkers(). With one effective worker the calls run inline
+// on the caller's goroutine, in index order — the sequential baseline the
+// parallel paths are tested against.
+//
+// fn must treat shared state as read-only (or guard it itself): indices are
+// handed out through a channel, so the assignment of index to worker — and
+// therefore any interleaving — is scheduler-dependent by design.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,40 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		const n = 100
+		var hits [n]int32
+		ForEach(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	ForEach(4, 0, func(int) { t.Fatal("fn called for n=0") })
+	ForEach(4, -3, func(int) { t.Fatal("fn called for n<0") })
+}
+
+func TestForEachSingleWorkerRunsInOrder(t *testing.T) {
+	var order []int
+	ForEach(1, 5, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("single-worker order = %v", order)
+		}
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers < 1")
+	}
+}

@@ -1,0 +1,383 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dctcpplus/internal/sim"
+)
+
+// fastSpec is a small but multi-dimensional grid: 2 protocols × 2 flow
+// counts × 2 seeds = 8 jobs, each a few milliseconds of wall time.
+func fastSpec(name string) Spec {
+	return Spec{
+		Name:      name,
+		Protocols: []string{"dctcp", "dctcp+"},
+		Flows:     []int{4, 8},
+		Seeds:     []uint64{1, 2},
+		Rounds:    5,
+
+		WarmupRounds: 1,
+		RTOMins:      []sim.Duration{10 * sim.Millisecond},
+	}
+}
+
+func TestSpecDefaultsAndValidate(t *testing.T) {
+	jobs, err := Spec{Name: "zero"}.Expand()
+	if err != nil {
+		t.Fatalf("zero spec: %v", err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("zero spec expands to %d jobs, want 1", len(jobs))
+	}
+	pt := jobs[0].Point
+	if pt.Proto != "dctcp+" || pt.Flows != 40 || pt.RTOMin != 200*sim.Millisecond ||
+		pt.Seed != 1 || pt.Rounds != 50 || pt.WarmupRounds != 10 {
+		t.Errorf("zero-spec defaults wrong: %+v", pt)
+	}
+
+	bad := []Spec{
+		{Name: "p", Protocols: []string{"nope"}},
+		{Name: "f", Flows: []int{0}},
+		{Name: "r", RTOMins: []sim.Duration{0}},
+		{Name: "t", Topos: []string{"fat-tree"}},
+		{Name: "x", Faults: []string{"quux"}},
+		{Name: "w", Rounds: 5, WarmupRounds: 5},
+		{Name: "b", TotalBytes: -1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %q: Validate accepted invalid spec", s.Name)
+		}
+	}
+}
+
+func TestExpandDeterministicAndSeedInnermost(t *testing.T) {
+	a, err := fastSpec("a").Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := fastSpec("a").Expand()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Expand is not deterministic")
+	}
+	if len(a) != 8 {
+		t.Fatalf("expanded %d jobs, want 8", len(a))
+	}
+	// Seeds are the innermost dimension: replicates of one point must be
+	// adjacent so they stream into the aggregator back to back.
+	for i := 0; i < len(a); i += 2 {
+		p0, p1 := a[i].Point, a[i+1].Point
+		if p0.Seed != 1 || p1.Seed != 2 {
+			t.Fatalf("jobs %d,%d seeds = %d,%d; want 1,2", i, i+1, p0.Seed, p1.Seed)
+		}
+		p0.Seed, p1.Seed = 0, 0
+		if p0 != p1 {
+			t.Fatalf("jobs %d,%d differ beyond seed", i, i+1)
+		}
+	}
+	for i, j := range a {
+		if j.Index != i {
+			t.Fatalf("job %d has Index %d", i, j.Index)
+		}
+	}
+}
+
+func TestFaultSpecCanonicalization(t *testing.T) {
+	s := fastSpec("faults")
+	s.Protocols = []string{"dctcp+"}
+	s.Flows = []int{4}
+	s.Seeds = []uint64{1}
+	s.Faults = []string{"delay, loss"}
+	jobs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := s
+	s2.Faults = []string{"loss,delay"}
+	jobs2, _ := s2.Expand()
+	if jobs[0].Point.Faults != jobs2[0].Point.Faults {
+		t.Fatalf("equivalent fault specs canonicalize differently: %q vs %q",
+			jobs[0].Point.Faults, jobs2[0].Point.Faults)
+	}
+	if jobs[0].Point.Key("v") != jobs2[0].Point.Key("v") {
+		t.Fatal("equivalent fault specs produce different cache keys")
+	}
+}
+
+func TestPointKeyScopesCodeVersion(t *testing.T) {
+	pt := Point{Proto: "dctcp", Flows: 4, Seed: 1}
+	if pt.Key("v1") == pt.Key("v2") {
+		t.Fatal("cache key ignores code version")
+	}
+	other := pt
+	other.Seed = 2
+	if pt.Key("v1") == other.Key("v1") {
+		t.Fatal("cache key ignores seed")
+	}
+	if pt.GroupKey() != other.GroupKey() {
+		t.Fatal("group key should be seed-invariant")
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Result{
+		Point:    Point{Proto: "dctcp+", Flows: 8, Seed: 3, Rounds: 5, WarmupRounds: 1},
+		Timeouts: 7, BottleneckDrops: 11, SimTime: 42 * sim.Millisecond,
+	}
+	want.GoodputMbps.Mean = 123.456
+	want.FCTms.P99 = 9.5
+	key := want.Point.Key("test-version")
+
+	if _, ok, err := c.Get(key); err != nil || ok {
+		t.Fatalf("Get before Put: ok=%v err=%v", ok, err)
+	}
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
+	}
+	if got != want {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Corrupt objects are misses-with-error, not crashes.
+	if err := os.WriteFile(c.Path(key), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get(key); ok || err == nil {
+		t.Fatalf("corrupt object: ok=%v err=%v, want miss with error", ok, err)
+	}
+}
+
+// runOutcome runs a spec with the given worker count and cache dir,
+// returning the outcome and the rendered aggregate table.
+func runOutcome(t *testing.T, spec Spec, workers int, cacheDir string, resume bool) (*Outcome, string) {
+	t.Helper()
+	r := Runner{Workers: workers, CodeVersion: "test-version", Resume: resume}
+	if cacheDir != "" {
+		c, err := OpenCache(cacheDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Cache = c
+	}
+	out, err := r.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteGroups(&buf, out.Groups); err != nil {
+		t.Fatal(err)
+	}
+	return out, buf.String()
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	spec := fastSpec("invariance")
+	o1, t1 := runOutcome(t, spec, 1, "", false)
+	o4, t4 := runOutcome(t, spec, 4, "", false)
+	if !reflect.DeepEqual(o1.Results, o4.Results) {
+		t.Fatal("results differ between 1 and 4 workers")
+	}
+	if t1 != t4 {
+		t.Fatalf("aggregate tables differ between 1 and 4 workers:\n%s\n---\n%s", t1, t4)
+	}
+	if o1.Misses != o1.Jobs || o4.Misses != o4.Jobs {
+		t.Fatal("cacheless run should report all jobs as misses")
+	}
+}
+
+func TestCacheHitSecondPassIdentical(t *testing.T) {
+	spec := fastSpec("rerun")
+	dir := t.TempDir()
+	first, table1 := runOutcome(t, spec, 4, dir, false)
+	if first.Hits != 0 || first.Misses != first.Jobs {
+		t.Fatalf("first pass: hits=%d misses=%d", first.Hits, first.Misses)
+	}
+	second, table2 := runOutcome(t, spec, 4, dir, true)
+	if second.Hits != second.Jobs || second.Misses != 0 {
+		t.Fatalf("second pass: hits=%d misses=%d, want all hits", second.Hits, second.Misses)
+	}
+	if !reflect.DeepEqual(first.Results, second.Results) {
+		t.Fatal("cached results differ from computed results")
+	}
+	if table1 != table2 {
+		t.Fatalf("aggregate tables differ across cache states:\n%s\n---\n%s", table1, table2)
+	}
+}
+
+func TestRunRefusesStaleManifestWithoutResume(t *testing.T) {
+	spec := fastSpec("guard")
+	dir := t.TempDir()
+	runOutcome(t, spec, 2, dir, false)
+
+	r := Runner{Workers: 2, CodeVersion: "test-version"}
+	c, _ := OpenCache(dir)
+	r.Cache = c
+	if _, err := r.Run(context.Background(), spec); err == nil ||
+		!strings.Contains(err.Error(), "resume") {
+		t.Fatalf("re-run without Resume: err = %v, want resume guard", err)
+	}
+
+	// Resuming under a different grid is an error even with Resume set.
+	changed := spec
+	changed.Flows = []int{4, 8, 12}
+	r.Resume = true
+	if _, err := r.Run(context.Background(), changed); err == nil ||
+		!strings.Contains(err.Error(), "spec hash") {
+		t.Fatalf("resume with changed grid: err = %v, want spec-hash mismatch", err)
+	}
+}
+
+func TestResumeAfterInterrupt(t *testing.T) {
+	spec := fastSpec("resume")
+	spec.Seeds = []uint64{1, 2, 3, 4} // widen to 16 jobs so the interrupt lands mid-grid
+	dir := t.TempDir()
+
+	// First pass: stop the sweep from inside after 3 results land. With a
+	// single worker and the unbuffered handoff, the pool can be at most
+	// ~2 jobs past the delivery that canceled, so most of the grid skips.
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	r := Runner{
+		Workers:     1,
+		Cache:       c,
+		CodeVersion: "test-version",
+		OnResult: func(Job, Result, string) bool {
+			delivered++
+			return delivered < 3
+		},
+	}
+	partial, err := r.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Skipped == 0 || partial.Completed() == partial.Jobs {
+		t.Fatalf("interrupt did not skip work: %d completed, %d skipped",
+			partial.Completed(), partial.Skipped)
+	}
+
+	// Second pass resumes: exactly the uncompleted jobs re-run.
+	full, table := runOutcome(t, spec, 2, dir, true)
+	if full.Completed() != full.Jobs {
+		t.Fatalf("resume left %d jobs incomplete", full.Jobs-full.Completed())
+	}
+	if full.Hits != partial.Completed() {
+		t.Errorf("resume hits = %d, want %d (the interrupted pass's completions)",
+			full.Hits, partial.Completed())
+	}
+	if full.Misses != full.Jobs-partial.Completed() {
+		t.Errorf("resume misses = %d, want %d", full.Misses, full.Jobs-partial.Completed())
+	}
+
+	// And the result equals an uninterrupted run's.
+	_, cleanTable := runOutcome(t, spec, 2, "", false)
+	if table != cleanTable {
+		t.Fatalf("resumed aggregate differs from clean run:\n%s\n---\n%s", table, cleanTable)
+	}
+}
+
+func TestContextCancelSkipsAndReportsError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := Runner{Workers: 2, CodeVersion: "test-version"}
+	out, err := r.Run(ctx, fastSpec("canceled"))
+	if err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+	if out.Skipped != out.Jobs {
+		t.Fatalf("canceled run: %d skipped of %d", out.Skipped, out.Jobs)
+	}
+}
+
+func TestManifestJournal(t *testing.T) {
+	spec := fastSpec("journal")
+	dir := t.TempDir()
+	out, _ := runOutcome(t, spec, 2, dir, false)
+
+	data, err := os.ReadFile(manifestPath(dir, "journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1+out.Jobs {
+		t.Fatalf("journal has %d lines, want %d", len(lines), 1+out.Jobs)
+	}
+	var h manifestHeader
+	if err := json.Unmarshal([]byte(lines[0]), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Sweep != "journal" || h.SpecHash != spec.Hash() || h.Jobs != out.Jobs {
+		t.Fatalf("bad header: %+v", h)
+	}
+	for i, line := range lines[1:] {
+		var e manifestEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		if e.Index != i {
+			t.Fatalf("journal out of order: line %d has index %d", i+1, e.Index)
+		}
+		if e.Status != StatusMiss || e.Key == "" {
+			t.Fatalf("entry %d: %+v", i, e)
+		}
+	}
+}
+
+func TestGroupAggregation(t *testing.T) {
+	out, table := runOutcome(t, fastSpec("groups"), 2, "", false)
+	// 2 protocols × 2 flow counts, seeds folded.
+	if len(out.Groups) != 4 {
+		t.Fatalf("got %d groups, want 4", len(out.Groups))
+	}
+	for _, g := range out.Groups {
+		if g.Jobs != 2 {
+			t.Errorf("group %s folded %d jobs, want 2 (one per seed)", g.Label(), g.Jobs)
+		}
+		if g.Point.Seed != 0 || g.Point.FaultSeed != 0 {
+			t.Errorf("group %s retains a seed", g.Label())
+		}
+		if g.Goodput.N() != 2 || g.Goodput.Summary().Mean <= 0 {
+			t.Errorf("group %s goodput stream wrong: n=%d", g.Label(), g.Goodput.N())
+		}
+	}
+	if !strings.Contains(table, "dctcp+ N=8") {
+		t.Errorf("table missing expected group label:\n%s", table)
+	}
+}
+
+func TestOutcomeJobWallTimings(t *testing.T) {
+	out, _ := runOutcome(t, fastSpec("walltime"), 2, "", false)
+	for i, ns := range out.JobWallNs {
+		if ns <= 0 {
+			t.Fatalf("job %d wall time = %d, want > 0 for executed jobs", i, ns)
+		}
+	}
+}
+
+func TestCachePathSharding(t *testing.T) {
+	c, err := OpenCache(filepath.Join(t.TempDir(), "nested", "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := c.Path("abcdef")
+	if !strings.HasSuffix(p, filepath.Join("objects", "ab", "abcdef.json")) {
+		t.Fatalf("unexpected object path %q", p)
+	}
+}
