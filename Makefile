@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fmt-check lint check bench alloc-check fault-smoke sweep-smoke baseline clean
+.PHONY: all build vet test race fmt-check lint lint-fix-check check bench alloc-check fault-smoke sweep-smoke baseline clean
 
 all: check
 
@@ -29,11 +29,18 @@ fmt-check:
 # simlint is the repository's own static analysis (internal/lint): it
 # enforces determinism (no wall clock, no math/rand, no order-sensitive map
 # iteration, no goroutines in sim-scheduled code), sim-time and unit
-# discipline, and the telemetry nil-safety contract. Stdlib-only.
+# discipline (name-based and flow-sensitive), sweep worker-race and
+# cache-key completeness, and the telemetry nil-safety contract.
+# Stdlib-only.
 lint:
 	$(GO) run ./cmd/simlint ./...
 
-check: build vet fmt-check lint race fault-smoke sweep-smoke
+# Autofix regression gate: apply simlint -fix to the before/after fixtures
+# and require byte-identical golden output plus an idempotent second pass.
+lint-fix-check:
+	$(GO) test -run 'TestFixGoldens|TestApplyEdits|TestRunFix' ./internal/lint ./cmd/simlint
+
+check: build vet fmt-check lint lint-fix-check race fault-smoke sweep-smoke
 
 # Fault-injection smoke: a full-mix faulted sweep must complete, stay
 # deterministic, conserve every packet/byte, and keep DCTCP+ no worse than

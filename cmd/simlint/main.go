@@ -1,25 +1,40 @@
 // Command simlint runs the repository's domain-specific static analysis
-// over the module: determinism guards, sim-time discipline, unit safety,
-// float-equality, telemetry nil-safety, and the call-graph passes —
+// over the module: determinism guards, sim-time discipline, unit safety
+// (name-based and flow-sensitive), float-equality, telemetry nil-safety,
+// sweep worker-race and cache-key checks, and the call-graph passes —
 // hot-path allocation budgets, enum-switch exhaustiveness and whole-graph
 // purity (see internal/lint).
 //
 //	simlint ./...            # lint the whole module (the make check gate)
 //	simlint ./internal/tcp   # lint one package
 //	simlint -json ./...      # machine-readable diagnostics, one JSON array
+//	simlint -sarif ./...     # SARIF 2.1.0 log for CI code scanning
+//	simlint -fix ./...       # apply suggested fixes, then re-lint
 //	simlint -list            # print the analyzer suite and exit
+//	simlint -version         # print the sweep-cache code-version string
+//
+// -version prints the same string internal/sweep folds into its cache keys
+// (git describe of the working tree), so "which build wrote this cache
+// entry" is answerable with the lint binary already on the PATH.
+//
+// -fix applies every suggested fix attached to a surviving diagnostic
+// (simtime's int64→sim.Duration rewrite, floateq's epsilon comparison),
+// writes the files, and re-runs the analysis from the rewritten sources;
+// the exit status reflects the residual diagnostics, so a fully fixable
+// tree converges to 0 in one invocation and -fix is idempotent.
 //
 // Exit status is a contract, relied on by make check and CI:
 //
 //	0  every matched package type-checked and produced no diagnostics
 //	1  the analysis ran and reported at least one diagnostic
-//	2  the analysis could not run: unknown flag, unresolvable pattern,
-//	   or a package that fails to type-check
+//	2  the analysis could not run: unknown flag, conflicting flags,
+//	   unresolvable pattern, or a package that fails to type-check
 //
 // Text mode prints file:line:col: analyzer: message per finding, with a
-// trailing count on stderr. JSON mode always prints exactly one array on
-// stdout ([] when clean), so a consumer may parse unconditionally; load
-// errors go to stderr and are signalled only by status 2.
+// trailing count on stderr. JSON and SARIF modes always print exactly one
+// document on stdout (an empty result set when clean), so a consumer may
+// parse unconditionally; load errors go to stderr and are signalled only
+// by status 2.
 package main
 
 import (
@@ -29,8 +44,10 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"dctcpplus/internal/lint"
+	"dctcpplus/internal/sweep"
 )
 
 func main() {
@@ -43,11 +60,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut = fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
-		list    = fs.Bool("list", false, "list the analyzer suite and exit")
-		dir     = fs.String("C", "", "change to this directory before resolving patterns")
+		jsonOut  = fs.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+		sarifOut = fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log on stdout")
+		fix      = fs.Bool("fix", false, "apply suggested fixes, then re-run the analysis")
+		list     = fs.Bool("list", false, "list the analyzer suite and exit")
+		version  = fs.Bool("version", false, "print the sweep-cache code-version string and exit")
+		dir      = fs.String("C", "", "change to this directory before resolving patterns")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "simlint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -56,6 +80,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, a := range analyzers {
 			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
+		return 0
+	}
+	if *version {
+		fmt.Fprintln(stdout, sweep.CodeVersion())
 		return 0
 	}
 
@@ -72,27 +100,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		root = cwd
 	}
-	loader, err := lint.NewLoader(root)
-	if err != nil {
-		fmt.Fprintln(stderr, "simlint:", err)
-		return 2
+
+	diags, moduleRoot, status := analyze(root, patterns, analyzers, stderr)
+	if status != 0 {
+		return status
 	}
-	pkgs, err := loader.Load(patterns...)
-	if err != nil {
-		fmt.Fprintln(stderr, "simlint:", err)
-		return 2
+
+	if *fix {
+		n, err := applyAndWrite(diags, stderr)
+		if err != nil {
+			fmt.Fprintln(stderr, "simlint:", err)
+			return 2
+		}
+		if n > 0 {
+			// Re-analyze from the rewritten sources so the report and the
+			// exit status describe the tree as it now stands.
+			diags, moduleRoot, status = analyze(root, patterns, analyzers, stderr)
+			if status != 0 {
+				return status
+			}
+		}
 	}
-	diags := lint.Run(pkgs, analyzers)
 
 	// Report paths relative to the module root: stable across machines,
 	// clickable from the repository checkout.
 	for i := range diags {
-		if rel, err := filepath.Rel(loader.ModuleRoot(), diags[i].File); err == nil {
+		if rel, err := filepath.Rel(moduleRoot, diags[i].File); err == nil {
 			diags[i].File = rel
 		}
 	}
 
-	if *jsonOut {
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -102,7 +141,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "simlint:", err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		doc, err := lint.SARIF(diags, analyzers)
+		if err != nil {
+			fmt.Fprintln(stderr, "simlint:", err)
+			return 2
+		}
+		fmt.Fprintln(stdout, string(doc))
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}
@@ -114,4 +160,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// analyze loads the patterns with a fresh loader and runs the suite,
+// returning the diagnostics (with absolute paths), the module root, and a
+// non-zero exit status on load failure.
+func analyze(root string, patterns []string, analyzers []*lint.Analyzer, stderr io.Writer) ([]lint.Diagnostic, string, int) {
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "simlint:", err)
+		return nil, "", 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "simlint:", err)
+		return nil, "", 2
+	}
+	return lint.Run(pkgs, analyzers), loader.ModuleRoot(), 0
+}
+
+// applyAndWrite applies the fixes attached to diags and writes the
+// rewritten files, reporting how many files changed.
+func applyAndWrite(diags []lint.Diagnostic, stderr io.Writer) (int, error) {
+	fixed, err := lint.ApplyFixes(diags)
+	if err != nil {
+		return 0, err
+	}
+	nFixes := 0
+	for _, d := range diags {
+		if d.Fix != nil {
+			nFixes++
+		}
+	}
+	files := make([]string, 0, len(fixed))
+	for file := range fixed {
+		files = append(files, file)
+	}
+	sort.Strings(files) // write in deterministic order
+	for _, file := range files {
+		if err := os.WriteFile(file, fixed[file], 0o644); err != nil {
+			return 0, err
+		}
+	}
+	if len(fixed) > 0 {
+		fmt.Fprintf(stderr, "simlint: applied %d fix(es) to %d file(s)\n", nFixes, len(fixed))
+	}
+	return len(fixed), nil
 }

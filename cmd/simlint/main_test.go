@@ -2,11 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"dctcpplus/internal/lint"
+	"dctcpplus/internal/sweep"
 )
 
 // moduleRoot walks up from the test's working directory (cmd/simlint) to
@@ -126,5 +128,133 @@ func TestRunJSONMode(t *testing.T) {
 		if d.Line == 0 || d.Col == 0 || d.Message == "" {
 			t.Errorf("incomplete diagnostic: %+v", d)
 		}
+	}
+}
+
+// TestRunVersion pins the -version contract as a table: the flag prints
+// exactly the string internal/sweep folds into cache keys and exits 0,
+// with or without trailing patterns, and composes with nothing else.
+func TestRunVersion(t *testing.T) {
+	want := sweep.CodeVersion() + "\n"
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"bare", []string{"-version"}},
+		{"with patterns", []string{"-version", "./..."}},
+		{"with -C", []string{"-C", moduleRoot(t), "-version"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errb strings.Builder
+			if status := run(c.args, &out, &errb); status != 0 {
+				t.Fatalf("run(%v) = %d, want 0; stderr: %s", c.args, status, errb.String())
+			}
+			if out.String() != want {
+				t.Errorf("run(%v) printed %q, want %q", c.args, out.String(), want)
+			}
+		})
+	}
+}
+
+// TestRunSARIFMode checks the -sarif output parses as a SARIF log in both
+// clean and dirty runs, and that -json and -sarif are mutually exclusive.
+func TestRunSARIFMode(t *testing.T) {
+	root := moduleRoot(t)
+
+	var out, errb strings.Builder
+	if status := run([]string{"-C", root, "-sarif", "./internal/check"}, &out, &errb); status != 0 {
+		t.Fatalf("clean SARIF run exited %d; stderr: %s", status, errb.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("clean output is not SARIF JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("unexpected SARIF shape: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	if len(log.Runs[0].Results) != 0 {
+		t.Fatalf("clean run carries %d results", len(log.Runs[0].Results))
+	}
+
+	out.Reset()
+	errb.Reset()
+	if status := run([]string{"-C", root, "-sarif", "internal/lint/testdata/src/exhaustive"}, &out, &errb); status != 1 {
+		t.Fatalf("dirty SARIF run exited %d, want 1; stderr: %s", status, errb.String())
+	}
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("dirty output is not SARIF JSON: %v", err)
+	}
+	if len(log.Runs[0].Results) != 2 {
+		t.Fatalf("dirty run carries %d results, want 2", len(log.Runs[0].Results))
+	}
+
+	out.Reset()
+	errb.Reset()
+	if status := run([]string{"-json", "-sarif", "./internal/check"}, &out, &errb); status != 2 {
+		t.Fatalf("-json -sarif exited %d, want 2", status)
+	}
+	if !strings.Contains(errb.String(), "mutually exclusive") {
+		t.Errorf("stderr missing exclusivity message: %s", errb.String())
+	}
+}
+
+// TestRunFix drives the end-to-end -fix path on a scratch copy of the
+// floatcmpfix fixture: the first run rewrites the file to the golden bytes
+// and exits 0 (the tree converges in one invocation); the second run is a
+// no-op.
+func TestRunFix(t *testing.T) {
+	root := moduleRoot(t)
+	fixDir := filepath.Join(root, "internal", "lint", "testdata", "fix", "floatcmpfix")
+	input, err := os.ReadFile(filepath.Join(fixDir, "input.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join(fixDir, "input.go.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tmp := filepath.Join(fixDir, "clitmp")
+	if err := os.RemoveAll(tmp); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(tmp) })
+	target := filepath.Join(tmp, "input.go")
+	if err := os.WriteFile(target, input, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pattern := "internal/lint/testdata/fix/floatcmpfix/clitmp"
+
+	var out, errb strings.Builder
+	if status := run([]string{"-C", root, "-fix", pattern}, &out, &errb); status != 0 {
+		t.Fatalf("-fix run exited %d, want 0\nstdout: %s\nstderr: %s", status, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "applied") {
+		t.Errorf("stderr missing fix summary: %s", errb.String())
+	}
+	got, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(golden) {
+		t.Errorf("fixed file differs from golden\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+
+	out.Reset()
+	errb.Reset()
+	if status := run([]string{"-C", root, "-fix", pattern}, &out, &errb); status != 0 {
+		t.Fatalf("second -fix run exited %d, want 0; stderr: %s", status, errb.String())
+	}
+	if strings.Contains(errb.String(), "applied") {
+		t.Errorf("second -fix run applied fixes again: %s", errb.String())
 	}
 }

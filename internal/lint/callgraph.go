@@ -36,8 +36,10 @@ import (
 //
 // Hot roots are declared in source with a "//hot:path" line in a function's
 // doc comment. Reachability is a breadth-first closure from the roots over
-// the edge set above; each reached function remembers one root that reaches
-// it, so diagnostics can say why a function is subject to hot-path rules.
+// the edge set above; each reached function remembers every root that
+// reaches it (in root declaration order), so diagnostics can say why a
+// function is subject to hot-path rules — and a callee shared by two roots
+// is reported once, with both roots as witnesses, instead of once per root.
 type Program struct {
 	modPath string
 	pkgs    []*Package
@@ -46,9 +48,14 @@ type Program struct {
 	nodes     map[*types.Func]*funcNode
 	order     []*funcNode            // nodes in deterministic declaration order
 	byName    map[string][]*funcNode // methods indexed by name, for interface expansion
-	hotFrom   map[*types.Func]*types.Func
-	sweepFrom map[*types.Func]*types.Func
+	hotFrom   map[*types.Func][]*types.Func
+	sweepFrom map[*types.Func][]*types.Func
 	terminals map[*types.Func]bool
+
+	// unitSummaries caches the per-function result units the unitflow
+	// dataflow engine lifts through this graph (see dataflow.go). Nil until
+	// the first unitflow query; invalidated whenever the graph rebuilds.
+	unitSummaries map[*types.Func][]unitClass
 }
 
 // funcNode is one declared function in the call graph.
@@ -146,9 +153,10 @@ func (prog *Program) build() {
 	prog.nodes = make(map[*types.Func]*funcNode)
 	prog.order = prog.order[:0]
 	prog.byName = make(map[string][]*funcNode)
-	prog.hotFrom = make(map[*types.Func]*types.Func)
-	prog.sweepFrom = make(map[*types.Func]*types.Func)
+	prog.hotFrom = make(map[*types.Func][]*types.Func)
+	prog.sweepFrom = make(map[*types.Func][]*types.Func)
 	prog.terminals = make(map[*types.Func]bool)
+	prog.unitSummaries = nil
 
 	// Pass 1: one node per declared function with a body.
 	for _, p := range prog.pkgs {
@@ -185,36 +193,37 @@ func (prog *Program) build() {
 	}
 
 	// Pass 3: breadth-first closures from the annotation roots, remembering
-	// a witness root per reached function — one closure per annotation
+	// every witness root per reached function — one closure per annotation
 	// (//hot:path and //sweep:job taints are independent rule sets).
 	prog.closure(prog.hotFrom, func(n *funcNode) bool { return n.hot })
 	prog.closure(prog.sweepFrom, func(n *funcNode) bool { return n.sweep })
 }
 
-// closure runs the breadth-first reachability pass from every node root
-// selects, filling from with a witness root for each reached function.
-func (prog *Program) closure(from map[*types.Func]*types.Func, root func(*funcNode) bool) {
-	var queue []*types.Func
-	for _, n := range prog.order {
-		if root(n) {
-			from[n.fn] = n.fn
-			queue = append(queue, n.fn)
-		}
-	}
-	for len(queue) > 0 {
-		fn := queue[0]
-		queue = queue[1:]
-		witness := from[fn]
-		n := prog.nodes[fn]
-		if n == nil {
+// closure runs one breadth-first reachability pass per root (in root
+// declaration order), appending that root to the witness list of every
+// function it reaches. The per-root pass — rather than a single multi-source
+// BFS — is what lets a function shared by two roots list both of them.
+func (prog *Program) closure(from map[*types.Func][]*types.Func, isRoot func(*funcNode) bool) {
+	for _, r := range prog.order {
+		if !isRoot(r) {
 			continue
 		}
-		for _, e := range n.edges {
-			if _, seen := from[e.callee]; seen {
+		seen := map[*types.Func]bool{r.fn: true}
+		queue := []*types.Func{r.fn}
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			from[fn] = append(from[fn], r.fn)
+			n := prog.nodes[fn]
+			if n == nil {
 				continue
 			}
-			from[e.callee] = witness
-			queue = append(queue, e.callee)
+			for _, e := range n.edges {
+				if !seen[e.callee] {
+					seen[e.callee] = true
+					queue = append(queue, e.callee)
+				}
+			}
 		}
 	}
 }
@@ -304,11 +313,28 @@ func (prog *Program) implementations(m *types.Func) []*funcNode {
 }
 
 // hotReachable reports whether fn is statically reachable from a //hot:path
-// root, and if so returns one such root as the provenance witness.
+// root, and if so returns the first such root as the provenance witness.
 func (prog *Program) hotReachable(fn *types.Func) (*types.Func, bool) {
 	prog.build()
-	root, ok := prog.hotFrom[fn]
-	return root, ok
+	roots := prog.hotFrom[fn]
+	if len(roots) == 0 {
+		return nil, false
+	}
+	return roots[0], true
+}
+
+// hotRootsOf returns every //hot:path root reaching fn, in root declaration
+// order (empty when fn is not hot-reachable).
+func (prog *Program) hotRootsOf(fn *types.Func) []*types.Func {
+	prog.build()
+	return prog.hotFrom[fn]
+}
+
+// sweepRootsOf returns every //sweep:job root reaching fn, in root
+// declaration order.
+func (prog *Program) sweepRootsOf(fn *types.Func) []*types.Func {
+	prog.build()
+	return prog.sweepFrom[fn]
 }
 
 // isTerminal reports whether fn is a never-returning panic helper. Call
@@ -328,11 +354,14 @@ func (prog *Program) hotNodesIn(p *Package) []*funcNode {
 }
 
 // sweepReachable reports whether fn is statically reachable from a
-// //sweep:job root, returning one such root as the provenance witness.
+// //sweep:job root, returning the first such root as the provenance witness.
 func (prog *Program) sweepReachable(fn *types.Func) (*types.Func, bool) {
 	prog.build()
-	root, ok := prog.sweepFrom[fn]
-	return root, ok
+	roots := prog.sweepFrom[fn]
+	if len(roots) == 0 {
+		return nil, false
+	}
+	return roots[0], true
 }
 
 // sweepNodesIn returns the current package's sweep-reachable function
@@ -342,23 +371,49 @@ func (prog *Program) sweepNodesIn(p *Package) []*funcNode {
 	return prog.nodesIn(p, prog.sweepFrom)
 }
 
-func (prog *Program) nodesIn(p *Package, from map[*types.Func]*types.Func) []*funcNode {
+func (prog *Program) nodesIn(p *Package, from map[*types.Func][]*types.Func) []*funcNode {
 	var out []*funcNode
 	for _, n := range prog.order {
 		if n.pkg != p {
 			continue
 		}
-		if _, ok := from[n.fn]; ok {
+		if len(from[n.fn]) > 0 {
 			out = append(out, n)
 		}
 	}
 	return out
 }
 
-// rootLabel renders the provenance suffix for hot-path diagnostics.
-func rootLabel(fn, root *types.Func) string {
-	if fn == root {
-		return "(a //hot:path root)"
+// rootLabel renders the provenance suffix for hot-path diagnostics, listing
+// every root that reaches fn.
+func rootLabel(fn *types.Func, roots []*types.Func) string {
+	return provenanceLabel("//hot:path", fn, roots)
+}
+
+// sweepRootLabel renders the provenance suffix for sweep-taint diagnostics.
+func sweepRootLabel(fn *types.Func, roots []*types.Func) string {
+	return provenanceLabel("//sweep:job", fn, roots)
+}
+
+// provenanceLabel renders a witness suffix: a root names itself, a function
+// reached by one root names it, and a function shared by several roots
+// lists all of them so the single deduplicated diagnostic still carries the
+// full provenance.
+func provenanceLabel(marker string, fn *types.Func, roots []*types.Func) string {
+	for _, r := range roots {
+		if r == fn {
+			return "(a " + marker + " root)"
+		}
 	}
-	return "(reachable from //hot:path root " + root.FullName() + ")"
+	switch len(roots) {
+	case 0:
+		return "(a " + marker + " root)"
+	case 1:
+		return "(reachable from " + marker + " root " + roots[0].FullName() + ")"
+	}
+	names := make([]string, len(roots))
+	for i, r := range roots {
+		names[i] = r.FullName()
+	}
+	return "(reachable from " + marker + " roots " + strings.Join(names, ", ") + ")"
 }

@@ -120,17 +120,24 @@ func TestHotNodesInOrder(t *testing.T) {
 	}
 }
 
-// TestRootLabel checks the provenance rendering both for a root and for a
-// function it reaches.
+// TestRootLabel checks the provenance rendering for a root, for a function
+// reached by one root, and for a function shared by several roots.
 func TestRootLabel(t *testing.T) {
 	p := loadCallgraphFixture(t)
 	root := lookupFunc(t, p, "Encode")
-	if got := rootLabel(root, root); got != "(a //hot:path root)" {
-		t.Errorf("rootLabel(root, root) = %q", got)
+	if got := rootLabel(root, []*types.Func{root}); got != "(a //hot:path root)" {
+		t.Errorf("rootLabel(root, [root]) = %q", got)
 	}
 	reached := lookupFunc(t, p, "half")
-	got := rootLabel(reached, root)
+	got := rootLabel(reached, []*types.Func{root})
 	if got != "(reachable from //hot:path root dctcpplus/internal/lint/testdata/callgraph.Encode)" {
-		t.Errorf("rootLabel(reached, root) = %q", got)
+		t.Errorf("rootLabel(reached, [root]) = %q", got)
+	}
+	other := lookupFunc(t, p, "Detached")
+	got = rootLabel(reached, []*types.Func{root, other})
+	want := "(reachable from //hot:path roots dctcpplus/internal/lint/testdata/callgraph.Encode, " +
+		"dctcpplus/internal/lint/testdata/callgraph.Detached)"
+	if got != want {
+		t.Errorf("rootLabel(reached, [root, other]) = %q, want %q", got, want)
 	}
 }

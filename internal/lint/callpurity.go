@@ -38,8 +38,7 @@ func runCallPurity(p *Package) []Diagnostic {
 	}
 	var out []Diagnostic
 	for _, n := range p.Prog.hotNodesIn(p) {
-		root, _ := p.Prog.hotReachable(n.fn)
-		where := rootLabel(n.fn, root)
+		where := rootLabel(n.fn, p.Prog.hotRootsOf(n.fn))
 		file := fileOf(p, n.decl)
 
 		ast.Inspect(n.decl.Body, func(node ast.Node) bool {

@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// TextEdit is one byte-range replacement in a source file. Start and End
+// are byte offsets into the file's current contents; Start == End inserts.
+type TextEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"newText"`
+}
+
+// SuggestedFix is a machine-applicable rewrite attached to a diagnostic.
+// All edits of one fix apply together; simlint -fix applies every fix of
+// every surviving diagnostic in one pass.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// ApplyFixes collects the fixes attached to diags and applies them,
+// returning the rewritten contents per file (files without fixes are
+// absent). Identical edits — e.g. two diagnostics on sibling fields that
+// both rewrite the shared type expression, or two fixes inserting the same
+// import — collapse to one; genuinely conflicting edits are an error, and
+// nothing is written to disk by this function.
+func ApplyFixes(diags []Diagnostic) (map[string][]byte, error) {
+	perFile := make(map[string][]TextEdit)
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			perFile[e.File] = append(perFile[e.File], e)
+		}
+	}
+	files := make([]string, 0, len(perFile))
+	for file := range perFile {
+		files = append(files, file)
+	}
+	sort.Strings(files) // deterministic application (and error) order
+	out := make(map[string][]byte)
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		fixed, err := applyEdits(src, perFile[file])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", file, err)
+		}
+		out[file] = fixed
+	}
+	return out, nil
+}
+
+// applyEdits sorts, dedupes, overlap-checks and applies edits to src.
+func applyEdits(src []byte, edits []TextEdit) ([]byte, error) {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].Start != edits[j].Start {
+			return edits[i].Start < edits[j].Start
+		}
+		if edits[i].End != edits[j].End {
+			return edits[i].End < edits[j].End
+		}
+		return edits[i].NewText < edits[j].NewText
+	})
+	deduped := edits[:0]
+	for i, e := range edits {
+		if i > 0 && e == edits[i-1] {
+			continue
+		}
+		deduped = append(deduped, e)
+	}
+	edits = deduped
+	for i, e := range edits {
+		if e.Start < 0 || e.End < e.Start || e.End > len(src) {
+			return nil, fmt.Errorf("edit [%d,%d) out of range (file is %d bytes)", e.Start, e.End, len(src))
+		}
+		if i > 0 && edits[i-1].End > e.Start {
+			return nil, fmt.Errorf("conflicting edits at offsets %d and %d", edits[i-1].Start, e.Start)
+		}
+		if i > 0 && edits[i-1].Start == e.Start && edits[i-1].End == e.End {
+			return nil, fmt.Errorf("conflicting rewrites of offsets [%d,%d)", e.Start, e.End)
+		}
+	}
+	for i := len(edits) - 1; i >= 0; i-- {
+		e := edits[i]
+		src = append(src[:e.Start], append([]byte(e.NewText), src[e.End:]...)...)
+	}
+	return src, nil
+}
+
+// fileAt returns the AST file containing pos.
+func (p *Package) fileAt(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.Pos() <= pos && pos < f.End() {
+			return f
+		}
+	}
+	return nil
+}
+
+// simQualifier returns the local name under which the file containing pos
+// imports the sim package ("sim" unless renamed), or ok=false when that
+// file does not import it — no fix is offered then, because inventing an
+// import for a package the file never touches is beyond a lint's warrant.
+func (p *Package) simQualifier(pos token.Pos) (string, bool) {
+	f := p.fileAt(pos)
+	if f == nil {
+		return "", false
+	}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || path != simPkgPath {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return "", false
+			}
+			return imp.Name.Name, true
+		}
+		return "sim", true
+	}
+	return "", false
+}
+
+// durationFix rewrites a literal int64 type expression to sim.Duration.
+// float64 carriers are left alone — scaling a float nanosecond count into
+// an integer Duration changes semantics, which is a human's call.
+func (p *Package) durationFix(typeExpr ast.Expr, t types.Type) *SuggestedFix {
+	b, ok := t.(*types.Basic)
+	if !ok || b.Kind() != types.Int64 {
+		return nil
+	}
+	id, ok := typeExpr.(*ast.Ident)
+	if !ok || id.Name != "int64" {
+		return nil
+	}
+	qual, ok := p.simQualifier(typeExpr.Pos())
+	if !ok {
+		return nil
+	}
+	start := p.Fset.Position(typeExpr.Pos())
+	end := p.Fset.Position(typeExpr.End())
+	return &SuggestedFix{
+		Message: "declare the value as " + qual + ".Duration",
+		Edits: []TextEdit{{
+			File:    start.Filename,
+			Start:   start.Offset,
+			End:     end.Offset,
+			NewText: qual + ".Duration",
+		}},
+	}
+}
+
+// floatEqEpsilon is the tolerance the floateq autofix rewrites to. The
+// simulator's float quantities are O(1) rates and fractions, for which an
+// absolute 1e-9 is far below any meaningful difference.
+const floatEqEpsilon = "1e-9"
+
+// floatEqFix rewrites x == y to math.Abs(x-y) <= 1e-9 (and != to >),
+// inserting a "math" import when the file lacks one.
+func (p *Package) floatEqFix(be *ast.BinaryExpr) *SuggestedFix {
+	f := p.fileAt(be.Pos())
+	if f == nil {
+		return nil
+	}
+	x := p.renderOperand(be.X)
+	y := p.renderOperand(be.Y)
+	if x == "" || y == "" {
+		return nil
+	}
+	cmp := "<="
+	if be.Op == token.NEQ {
+		cmp = ">"
+	}
+	start := p.Fset.Position(be.Pos())
+	end := p.Fset.Position(be.End())
+	fix := &SuggestedFix{
+		Message: "compare with an absolute tolerance of " + floatEqEpsilon,
+		Edits: []TextEdit{{
+			File:    start.Filename,
+			Start:   start.Offset,
+			End:     end.Offset,
+			NewText: "math.Abs(" + x + "-" + y + ") " + cmp + " " + floatEqEpsilon,
+		}},
+	}
+	if imp := p.importEdit(f, "math"); imp != nil {
+		fix.Edits = append(fix.Edits, *imp)
+	}
+	return fix
+}
+
+// renderOperand prints one comparison operand back to source, wrapping
+// binary expressions in parentheses so the subtraction binds correctly.
+func (p *Package) renderOperand(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, p.Fset, e); err != nil {
+		return ""
+	}
+	if _, ok := e.(*ast.BinaryExpr); ok {
+		return "(" + buf.String() + ")"
+	}
+	return buf.String()
+}
+
+// importEdit builds the insertion that adds an import of path to f, or nil
+// when the file already imports it. Grouped imports get a sorted entry;
+// a single ungrouped import gets a sibling line; a file with no imports
+// gets a new import statement after the package clause.
+func (p *Package) importEdit(f *ast.File, path string) *TextEdit {
+	for _, imp := range f.Imports {
+		if got, err := strconv.Unquote(imp.Path.Value); err == nil && got == path {
+			return nil
+		}
+	}
+	quoted := strconv.Quote(path)
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if gd.Lparen.IsValid() {
+			for _, spec := range gd.Specs {
+				is := spec.(*ast.ImportSpec)
+				if is.Path.Value > quoted {
+					pos := p.Fset.Position(spec.Pos())
+					return &TextEdit{File: pos.Filename, Start: pos.Offset, End: pos.Offset,
+						NewText: quoted + "\n\t"}
+				}
+			}
+			pos := p.Fset.Position(gd.Rparen)
+			return &TextEdit{File: pos.Filename, Start: pos.Offset, End: pos.Offset,
+				NewText: "\t" + quoted + "\n"}
+		}
+		pos := p.Fset.Position(gd.End())
+		return &TextEdit{File: pos.Filename, Start: pos.Offset, End: pos.Offset,
+			NewText: "\nimport " + quoted}
+	}
+	pos := p.Fset.Position(f.Name.End())
+	return &TextEdit{File: pos.Filename, Start: pos.Offset, End: pos.Offset,
+		NewText: "\n\nimport " + quoted}
+}

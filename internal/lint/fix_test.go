@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadFixDir type-checks one package directory with a fresh loader.
+func loadFixDir(t *testing.T, rel string) []*Package {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("internal/lint/" + rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs
+}
+
+// TestFixGoldens runs every autofix fixture under testdata/fix: apply the
+// suggested fixes to a scratch copy of input.go, compare the result
+// byte-for-byte against input.go.golden, and prove idempotence by
+// re-linting the fixed source and requiring zero remaining fixable
+// diagnostics.
+func TestFixGoldens(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("testdata", "fix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "fix", name)
+			input, err := os.ReadFile(filepath.Join(dir, "input.go"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Work on a scratch copy: the fixture input must survive the
+			// test unchanged, and the loader needs an on-disk package.
+			tmp := filepath.Join(dir, "tmp")
+			if err := os.RemoveAll(tmp); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.MkdirAll(tmp, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { os.RemoveAll(tmp) })
+			target := filepath.Join(tmp, "input.go")
+			if err := os.WriteFile(target, input, 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			pkgs := loadFixDir(t, filepath.ToSlash(filepath.Join("testdata", "fix", name, "tmp")))
+			diags := Run(pkgs, All())
+			nFixable := 0
+			for _, d := range diags {
+				if d.Fix != nil {
+					nFixable++
+				}
+			}
+			if nFixable == 0 {
+				t.Fatal("fixture produced no fixable diagnostics")
+			}
+			fixed, err := ApplyFixes(diags)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fixed) != 1 {
+				t.Fatalf("fixes touched %d files, want 1", len(fixed))
+			}
+			var got []byte
+			for _, content := range fixed {
+				got = content
+			}
+
+			golden := filepath.Join(dir, "input.go.golden")
+			if *update {
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("missing golden (run with -update): %v", err)
+				}
+				if string(got) != string(want) {
+					t.Errorf("fixed source mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+				}
+			}
+
+			// Idempotence: the fixed source must carry no further fixable
+			// diagnostics, so a second -fix pass is a no-op.
+			if err := os.WriteFile(target, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			pkgs = loadFixDir(t, filepath.ToSlash(filepath.Join("testdata", "fix", name, "tmp")))
+			for _, d := range Run(pkgs, All()) {
+				if d.Fix != nil {
+					t.Errorf("fixable diagnostic survives the fix: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestApplyEditsConflicts pins the edit-application error paths: duplicate
+// edits collapse, overlapping and contradictory edits are refused.
+func TestApplyEditsConflicts(t *testing.T) {
+	src := []byte("abcdef")
+	got, err := applyEdits(src, []TextEdit{
+		{Start: 1, End: 3, NewText: "X"},
+		{Start: 1, End: 3, NewText: "X"}, // identical duplicate: collapses
+		{Start: 4, End: 5, NewText: "Y"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "aXdYf" {
+		t.Errorf("applyEdits = %q, want %q", got, "aXdYf")
+	}
+	if _, err := applyEdits(src, []TextEdit{
+		{Start: 1, End: 4, NewText: "X"},
+		{Start: 2, End: 5, NewText: "Y"},
+	}); err == nil {
+		t.Error("overlapping edits not rejected")
+	}
+	if _, err := applyEdits(src, []TextEdit{
+		{Start: 1, End: 3, NewText: "X"},
+		{Start: 1, End: 3, NewText: "Y"},
+	}); err == nil {
+		t.Error("contradictory rewrites of one range not rejected")
+	}
+	if _, err := applyEdits(src, []TextEdit{{Start: 3, End: 99, NewText: "X"}}); err == nil {
+		t.Error("out-of-range edit not rejected")
+	}
+}

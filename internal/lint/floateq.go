@@ -42,8 +42,10 @@ func runFloatEq(p *Package) []Diagnostic {
 			if p.isZeroConst(be.X) || p.isZeroConst(be.Y) {
 				return true
 			}
-			out = append(out, p.diag("floateq", be.OpPos,
-				"floating-point %s comparison: compare with a tolerance, or annotate why exact equality is sound", be.Op))
+			dg := p.diag("floateq", be.OpPos,
+				"floating-point %s comparison: compare with a tolerance, or annotate why exact equality is sound", be.Op)
+			dg.Fix = p.floatEqFix(be)
+			out = append(out, dg)
 			return true
 		})
 	}

@@ -43,8 +43,7 @@ func runHotalloc(p *Package) []Diagnostic {
 	}
 	var out []Diagnostic
 	for _, n := range p.Prog.hotNodesIn(p) {
-		root, _ := p.Prog.hotReachable(n.fn)
-		out = append(out, p.hotallocFunc(n, root)...)
+		out = append(out, p.hotallocFunc(n, p.Prog.hotRootsOf(n.fn))...)
 	}
 	return out
 }
@@ -85,10 +84,10 @@ func inRanges(rs []posRange, pos token.Pos) bool {
 
 // hotallocFunc flags the allocating constructs in one hot-reachable
 // function body.
-func (p *Package) hotallocFunc(n *funcNode, root *types.Func) []Diagnostic {
+func (p *Package) hotallocFunc(n *funcNode, roots []*types.Func) []Diagnostic {
 	var out []Diagnostic
 	exempt := p.exemptRanges(n.decl.Body)
-	where := rootLabel(n.fn, root)
+	where := rootLabel(n.fn, roots)
 	flag := func(pos token.Pos, format string, args ...any) {
 		if inRanges(exempt, pos) {
 			return

@@ -5,15 +5,21 @@
 // using nothing but the standard library (go/parser, go/ast, go/token,
 // go/types — the module is dependency-free and must stay that way).
 //
-// Eight analyzers ship with the pass:
+// Twelve analyzers ship with the pass:
 //
 //   - nondeterminism: wall-clock reads, math/rand, order-sensitive map
 //     iteration, and goroutine spawns inside simulation-scheduled code.
 //   - simtime: raw int64/float64 durations crossing exported boundaries of
-//     packages where the sim.Time/sim.Duration types are available.
+//     packages where the sim.Time/sim.Duration types are available
+//     (carries an autofix rewriting int64 carriers to sim.Duration).
 //   - unitsafety: arithmetic mixing byte-, packet- and segment-valued
 //     identifiers.
-//   - floateq: ==/!= on floating-point operands outside tests.
+//   - unitflow: flow-sensitive upgrade of unitsafety — byte/packet/segment
+//     taint tracked through assignments, calls and returns by the dataflow
+//     engine (see dataflow.go), with per-function summaries lifted
+//     interprocedurally over the call graph.
+//   - floateq: ==/!= on floating-point operands outside tests (carries an
+//     autofix rewriting to an epsilon comparison).
 //   - telemetrysafety: instrument methods that dereference their receiver
 //     without the nil-guard idiom the telemetry layer is built on.
 //   - hotalloc: heap-allocating constructs in //hot:path functions and
@@ -23,6 +29,13 @@
 //     constant or carry a panicking default.
 //   - callpurity: nondeterminism sources anywhere in the call graph
 //     reachable from //hot:path roots, with no per-package allowances.
+//   - sweepsafety: writes to package-level state anywhere reachable from
+//     //sweep:job worker bodies.
+//   - sharedstate: unsynchronized writes to captured variables inside
+//     concurrently executed closures (pool.ForEach literals, goroutines in
+//     sweep-reachable code).
+//   - cachekey: completeness proof that every field of a
+//     //cache:key-annotated struct flows into its cache-key method.
 //
 // Intentional exceptions are declared inline with a directive comment on
 // the offending line (or the line above):
@@ -44,14 +57,15 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding: a position, the analyzer that produced it, and
-// a human-readable message.
+// Diagnostic is one finding: a position, the analyzer that produced it, a
+// human-readable message, and optionally a machine-applicable fix.
 type Diagnostic struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
+	File     string        `json:"file"`
+	Line     int           `json:"line"`
+	Col      int           `json:"col"`
+	Analyzer string        `json:"analyzer"`
+	Message  string        `json:"message"`
+	Fix      *SuggestedFix `json:"fix,omitempty"`
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -82,6 +96,9 @@ func All() []*Analyzer {
 		Exhaustive(),
 		CallPurity(),
 		SweepSafety(),
+		UnitFlow(),
+		SharedState(),
+		CacheKey(),
 	}
 }
 
@@ -202,9 +219,30 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return out
+	// Deduplicate: a function reachable from several annotation roots is
+	// visited once per root witness list, and a single root's label already
+	// names every root — identical (position, analyzer, message) findings
+	// collapse to one.
+	deduped := out[:0]
+	for i, d := range out {
+		if i > 0 && sameFinding(d, out[i-1]) {
+			continue
+		}
+		deduped = append(deduped, d)
+	}
+	return deduped
+}
+
+// sameFinding reports whether two diagnostics are the same finding (the Fix
+// pointer is excluded from identity: equal findings carry equal fixes).
+func sameFinding(a, b Diagnostic) bool {
+	return a.File == b.File && a.Line == b.Line && a.Col == b.Col &&
+		a.Analyzer == b.Analyzer && a.Message == b.Message
 }
 
 // importsSim reports whether the package imports the simulation engine (or

@@ -40,8 +40,7 @@ func runSweepSafety(p *Package) []Diagnostic {
 	}
 	var out []Diagnostic
 	for _, n := range p.Prog.sweepNodesIn(p) {
-		root, _ := p.Prog.sweepReachable(n.fn)
-		where := sweepRootLabel(n.fn, root)
+		where := sweepRootLabel(n.fn, p.Prog.sweepRootsOf(n.fn))
 
 		ast.Inspect(n.decl.Body, func(node ast.Node) bool {
 			switch node := node.(type) {
@@ -131,13 +130,4 @@ func mutatingBuiltin(p *Package, call *ast.CallExpr) (string, ast.Expr) {
 		return id.Name, call.Args[0]
 	}
 	return "", nil
-}
-
-// sweepRootLabel renders the provenance suffix for sweep-taint
-// diagnostics.
-func sweepRootLabel(fn, root *types.Func) string {
-	if fn == root {
-		return "(a //sweep:job root)"
-	}
-	return "(reachable from //sweep:job root " + root.FullName() + ")"
 }

@@ -1,0 +1,14 @@
+// Package floatcmpfix is the floateq autofix fixture: exact float
+// comparisons rewrite to epsilon comparisons, and the math import the
+// rewrite needs is inserted into a file that lacks one.
+package floatcmpfix
+
+// Same compares two rates exactly.
+func Same(a, b float64) bool {
+	return a == b
+}
+
+// Differs compares against a scaled value.
+func Differs(x, y float64) bool {
+	return x != y*2
+}

@@ -1,0 +1,21 @@
+// Package rawdurfix is the simtime autofix fixture: raw int64 durations on
+// exported boundaries rewrite to sim.Duration.
+package rawdurfix
+
+import "dctcpplus/internal/sim"
+
+// tick keeps the sim import live for the fix qualifier.
+var tick sim.Duration
+
+// Config crosses an exported boundary with raw int64 durations.
+type Config struct {
+	DelayNs int64
+	WaitNs  int64
+	Flows   int
+}
+
+// Hold takes a raw duration parameter.
+func Hold(delayNs int64) {
+	_ = delayNs
+	_ = tick
+}

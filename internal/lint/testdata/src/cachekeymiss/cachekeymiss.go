@@ -1,0 +1,58 @@
+// Package cachekeymiss exercises the cachekey analyzer: //cache:key
+// structs whose digest method misses fields — the unexported-scratch-field
+// and json:"-" failure modes — next to a fully covered type and a
+// directive pointing at a method that does not exist.
+package cachekeymiss
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// Point is a sweep-point stand-in with two coverage failures: a tag-excluded
+// field and an unexported scratch field, both invisible to json.Marshal.
+//
+//cache:key Key
+type Point struct {
+	Flows   int    `json:"flows"`
+	Seed    uint64 `json:"seed"`
+	Note    string `json:"-"` // flagged: excluded by its json tag
+	scratch int    // flagged: unexported, never serialized
+}
+
+// Key digests the point's canonical JSON.
+func (pt Point) Key() string {
+	data, err := json.Marshal(pt)
+	if err != nil {
+		panic(err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// Complete is fully covered: json.Marshal handles the exported field and a
+// direct selector read folds the unexported salt in.
+//
+//cache:key Key
+type Complete struct {
+	Flows int `json:"flows"`
+	salt  int
+}
+
+// Key digests the JSON plus the salt read directly.
+func (c Complete) Key() string {
+	data, err := json.Marshal(c)
+	if err != nil {
+		panic(err)
+	}
+	sum := sha256.Sum256(append(data, byte(c.salt)))
+	return hex.EncodeToString(sum[:])
+}
+
+// Orphan promises a digest method that was never written.
+//
+//cache:key Digest
+type Orphan struct {
+	A int
+}

@@ -1,0 +1,19 @@
+// Package multiroot exercises call-graph provenance deduplication: an
+// allocating callee reachable from two //hot:path roots yields one
+// diagnostic naming both roots as witnesses, not one diagnostic per root.
+package multiroot
+
+// RootA is the first per-packet entry point.
+//
+//hot:path
+func RootA() []int { return shared(1) }
+
+// RootB is the second per-packet entry point.
+//
+//hot:path
+func RootB() []int { return shared(2) }
+
+// shared allocates; the single diagnostic below carries both witnesses.
+func shared(n int) []int {
+	return make([]int, n)
+}

@@ -1,0 +1,57 @@
+// Package sharedcapture exercises the sharedstate analyzer: locals
+// captured by reference and written inside concurrently executed closures
+// — pool.ForEach bodies and goroutines spawned from sweep-reachable code.
+package sharedcapture
+
+import (
+	"sync"
+
+	"dctcpplus/internal/sweep/pool"
+)
+
+// Tally fans out over the worker pool and races on its accumulators; the
+// worker-indexed slot write is the sanctioned idiom and stays clean.
+func Tally(xs []float64) float64 {
+	sum := 0.0
+	seen := map[int]bool{}
+	out := make([]float64, len(xs))
+	pool.ForEach(2, len(xs), func(i int) {
+		sum += xs[i]   // flagged: captured scalar, workers race
+		seen[i] = true // flagged: captured map — racy regardless of key
+		out[i] = xs[i] // clean: worker-private slot indexed by the param
+	})
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	return total
+}
+
+// Guarded serializes every captured write behind a mutex: clean.
+func Guarded(xs []float64) float64 {
+	var mu sync.Mutex
+	sum := 0.0
+	pool.ForEach(2, len(xs), func(i int) {
+		v := xs[i]
+		mu.Lock()
+		sum += v
+		mu.Unlock()
+	})
+	return sum
+}
+
+// counters is package-level state; its write below belongs to sweepsafety.
+var counters = map[string]int{}
+
+// Job spawns a goroutine from a sweep job body: the captured-local write is
+// sharedstate's, the package-level write sweepsafety's.
+//
+//sweep:job
+func Job(n int) int {
+	local := 0
+	go func() {
+		local += n           // flagged by sharedstate: captured local
+		counters["done"] = 1 // flagged by sweepsafety: package-level
+	}()
+	return local
+}

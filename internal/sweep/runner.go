@@ -32,8 +32,8 @@ type Runner struct {
 	Cache *Cache
 
 	// CodeVersion scopes cache keys to the build that produced them;
-	// empty selects telemetry.GitDescribe(). Cached results are reused
-	// only under an identical version string.
+	// empty selects the package-level CodeVersion(). Cached results are
+	// reused only under an identical version string.
 	CodeVersion string
 
 	// Resume permits continuing a sweep whose manifest already exists in
@@ -132,7 +132,7 @@ func (r *Runner) RunPoints(ctx context.Context, name string, pts []Point) (*Outc
 func (r *Runner) runJobs(ctx context.Context, name, specHash string, jobs []Job) (*Outcome, error) {
 	codeVersion := r.CodeVersion
 	if codeVersion == "" {
-		codeVersion = telemetry.GitDescribe()
+		codeVersion = CodeVersion()
 	}
 	out := &Outcome{
 		Name:        name,

@@ -273,6 +273,14 @@ func canonicalFaults(spec string) string {
 // the code version) is the cache key, so field set and order are part of
 // the on-disk format — extend with care and bump Runner.CodeVersion
 // semantics when a change alters results.
+//
+// The directive below makes the completeness half machine-checked: simlint's
+// cachekey analyzer proves every field of Point flows into Key, so a new
+// field that silently misses the digest (unexported, or tagged json:"-")
+// fails the lint instead of aliasing distinct experiments onto one cache
+// entry.
+//
+//cache:key Key
 type Point struct {
 	Topo         string       `json:"topo"`
 	Proto        string       `json:"proto"`

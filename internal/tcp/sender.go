@@ -355,6 +355,7 @@ func (s *Sender) segSize(seq int64) int {
 	if rem <= 0 {
 		return 0
 	}
+	//lint:allow unitflow cfg.MSS is the segment size in bytes (rem and MSS share a unit); the mss suffix convention marks window counts, which this is not
 	if rem > int64(s.cfg.MSS) {
 		return s.cfg.MSS
 	}
