@@ -30,8 +30,9 @@ fmt-check:
 # enforces determinism (no wall clock, no math/rand, no order-sensitive map
 # iteration, no goroutines in sim-scheduled code), sim-time and unit
 # discipline (name-based and flow-sensitive), sweep worker-race and
-# cache-key completeness, and the telemetry nil-safety contract.
-# Stdlib-only.
+# cache-key completeness, the telemetry nil-safety contract, and the
+# //inv: interval contracts (range proofs, narrow-counter overflow,
+# static<->runtime check coverage). Stdlib-only.
 lint:
 	$(GO) run ./cmd/simlint ./...
 

@@ -10,12 +10,20 @@
 //	simlint -json ./...      # machine-readable diagnostics, one JSON array
 //	simlint -sarif ./...     # SARIF 2.1.0 log for CI code scanning
 //	simlint -fix ./...       # apply suggested fixes, then re-lint
+//	simlint -changed main    # report only packages that differ from a git ref
 //	simlint -list            # print the analyzer suite and exit
 //	simlint -version         # print the sweep-cache code-version string
 //
 // -version prints the same string internal/sweep folds into its cache keys
 // (git describe of the working tree), so "which build wrote this cache
 // entry" is answerable with the lint binary already on the PATH.
+//
+// -changed narrows the report, not the analysis: the matched patterns are
+// loaded and analyzed exactly once as usual (whole-module passes like the
+// call graph need the full picture), and diagnostics are then kept only
+// for packages containing a file that differs from the given ref —
+// `git diff --name-only <ref>` plus untracked files. Outside a git work
+// tree, or with an unresolvable ref, the run fails with status 2.
 //
 // -fix applies every suggested fix attached to a surviving diagnostic
 // (simtime's int64→sim.Duration rewrite, floateq's epsilon comparison),
@@ -43,8 +51,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"path"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"dctcpplus/internal/lint"
 	"dctcpplus/internal/sweep"
@@ -65,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fix      = fs.Bool("fix", false, "apply suggested fixes, then re-run the analysis")
 		list     = fs.Bool("list", false, "list the analyzer suite and exit")
 		version  = fs.Bool("version", false, "print the sweep-cache code-version string and exit")
+		changed  = fs.String("changed", "", "report only packages containing files that differ from this git ref")
 		dir      = fs.String("C", "", "change to this directory before resolving patterns")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -106,6 +118,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return status
 	}
 
+	// With -changed, the git question is answered once; the same directory
+	// set filters the post-fix re-analysis below too.
+	var keep map[string]bool
+	if *changed != "" {
+		var err error
+		keep, err = changedDirs(moduleRoot, *changed)
+		if err != nil {
+			fmt.Fprintln(stderr, "simlint:", err)
+			return 2
+		}
+		diags = filterToDirs(diags, moduleRoot, keep)
+	}
+
 	if *fix {
 		n, err := applyAndWrite(diags, stderr)
 		if err != nil {
@@ -118,6 +143,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			diags, moduleRoot, status = analyze(root, patterns, analyzers, stderr)
 			if status != 0 {
 				return status
+			}
+			if keep != nil {
+				diags = filterToDirs(diags, moduleRoot, keep)
 			}
 		}
 	}
@@ -177,6 +205,65 @@ func analyze(root string, patterns []string, analyzers []*lint.Analyzer, stderr 
 		return nil, "", 2
 	}
 	return lint.Run(pkgs, analyzers), loader.ModuleRoot(), 0
+}
+
+// changedDirs asks git which module-relative directories contain files
+// that differ from ref — committed edits via diff, plus files git does
+// not track yet (a brand-new package differs from every ref). Directories
+// are slash-separated, matching what filterToDirs derives from paths.
+func changedDirs(root, ref string) (map[string]bool, error) {
+	diff, err := gitLines(root, "diff", "--name-only", ref, "--", ".")
+	if err != nil {
+		return nil, err
+	}
+	untracked, err := gitLines(root, "ls-files", "--others", "--exclude-standard")
+	if err != nil {
+		return nil, err
+	}
+	dirs := make(map[string]bool)
+	for _, f := range append(diff, untracked...) {
+		dirs[path.Dir(f)] = true
+	}
+	return dirs, nil
+}
+
+// gitLines runs one git subcommand under root and returns its non-empty
+// output lines, surfacing git's own stderr (unknown ref, not a work tree)
+// as the error text.
+func gitLines(root string, args ...string) ([]string, error) {
+	cmd := exec.Command("git", append([]string{"-C", root}, args...)...)
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("git %s: %s", args[0], strings.TrimSpace(string(ee.Stderr)))
+		}
+		return nil, fmt.Errorf("git %s: %v", args[0], err)
+	}
+	var lines []string
+	for _, l := range strings.Split(string(out), "\n") {
+		if l = strings.TrimSpace(l); l != "" {
+			lines = append(lines, l)
+		}
+	}
+	return lines, nil
+}
+
+// filterToDirs keeps only diagnostics whose file lives in one of the kept
+// module-relative directories. Paths are still absolute at this point —
+// the module-relative rewrite for display happens after filtering.
+func filterToDirs(diags []lint.Diagnostic, root string, keep map[string]bool) []lint.Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		rel, err := filepath.Rel(root, d.File)
+		if err != nil {
+			out = append(out, d)
+			continue
+		}
+		if keep[path.Dir(filepath.ToSlash(rel))] {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // applyAndWrite applies the fixes attached to diags and writes the

@@ -130,7 +130,7 @@ type RoundPoint struct {
 	//lint:allow simtime plot-axis milliseconds; the unit is spelled in the name
 	FCTms        float64
 	GoodputMbps  float64
-	FlowTimeouts int // flows that hit at least one RTO this round
+	FlowTimeouts int64 // flows that hit at least one RTO this round
 }
 
 // DefaultIncastOptions returns the basic-incast settings (§VI-B): 1MB

@@ -10,11 +10,11 @@ import (
 // Stats totals what a plan actually did to a run. Window totals are closed
 // out by Finish; until then, open blackout/stall windows are not counted.
 type Stats struct {
-	EventsFired int // events applied (each Op counts once)
+	EventsFired int64 // events applied (each Op counts once)
 
-	Blackouts    int          // down/up windows completed
+	Blackouts    int64        // down/up windows completed
 	BlackoutTime sim.Duration // summed per-link down time
-	Stalls       int          // stall/resume windows completed
+	Stalls       int64        // stall/resume windows completed
 	StallTime    sim.Duration // summed per-host frozen time
 
 	// InducedDropPkts/Bytes total the packets destroyed by the fault layer

@@ -56,6 +56,16 @@ type Program struct {
 	// dataflow engine lifts through this graph (see dataflow.go). Nil until
 	// the first unitflow query; invalidated whenever the graph rebuilds.
 	unitSummaries map[*types.Func][]unitClass
+
+	// contractTable caches the parsed //inv: contracts (contracts.go) and
+	// intervalSummaries the per-function result intervals the interval
+	// engine lifts through this graph (interval.go). intervalResults
+	// caches the per-package interpreter run shared by the rangeproof,
+	// overflow and checkcover analyzers. All nil until first query;
+	// invalidated whenever the graph rebuilds.
+	contractTable     *contractTable
+	intervalSummaries map[*types.Func][]ival
+	intervalResults   map[*Package]*intervalAnalysis
 }
 
 // funcNode is one declared function in the call graph.
@@ -157,6 +167,9 @@ func (prog *Program) build() {
 	prog.sweepFrom = make(map[*types.Func][]*types.Func)
 	prog.terminals = make(map[*types.Func]bool)
 	prog.unitSummaries = nil
+	prog.contractTable = nil
+	prog.intervalSummaries = nil
+	prog.intervalResults = nil
 
 	// Pass 1: one node per declared function with a body.
 	for _, p := range prog.pkgs {

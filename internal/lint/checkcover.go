@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/types"
+	"sort"
+)
+
+// CheckCover audits the static↔runtime unification of //inv: contracts
+// from the runtime side (rangeproof audits the static side):
+//
+//   - An internal/check assertion covering an annotated field must carry a
+//     non-empty literal name string, so a runtime violation names the
+//     contract it enforces.
+//   - An assertion on an annotated field must discharge at least one atom
+//     of that field's contract; an assertion weaker than or unrelated to
+//     the declared range is a drifted check (AtLeast(x, 0) guarding
+//     //inv: x >= 1 enforces the wrong invariant).
+//   - Every contract atom left statically unproven by some writer must be
+//     discharged by an assertion somewhere in the declaring package;
+//     otherwise the contract is documentation, not an invariant — reported
+//     once, at the field declaration.
+func CheckCover() *Analyzer {
+	return &Analyzer{
+		Name: "checkcover",
+		Doc:  "require a named internal/check assertion for every //inv: contract atom the prover cannot discharge statically",
+		Run:  runCheckCover,
+	}
+}
+
+func runCheckCover(p *Package) []Diagnostic {
+	prog := p.Prog
+	if prog == nil {
+		return nil
+	}
+	ct := prog.contracts()
+	res := prog.intervalAnalysisOf(p)
+	var out []Diagnostic
+
+	type fieldState struct {
+		unproven map[int][]string // atom index -> writer function names
+		covered  map[int]bool     // atom index discharged by some package check
+	}
+	states := map[*types.Var]*fieldState{}
+	stateOf := func(fv *types.Var) *fieldState {
+		s, ok := states[fv]
+		if !ok {
+			s = &fieldState{unproven: map[int][]string{}, covered: map[int]bool{}}
+			states[fv] = s
+		}
+		return s
+	}
+
+	for _, fr := range res.funcs {
+		for _, c := range fr.checks {
+			if c.target == nil {
+				continue
+			}
+			fc, annotated := ct.fields[c.target]
+			if !annotated {
+				continue
+			}
+			if !c.named {
+				out = append(out, p.diag("checkcover", c.pos,
+					"check.%s covering //inv: field %s.%s must pass a non-empty literal name string",
+					c.fnName, ownerName(fc), c.target.Name()))
+			}
+			any := false
+			for i, a := range fc.atoms {
+				if dischargesAtom(c, a, ct) {
+					any = true
+					if c.target.Pkg() == p.Types {
+						stateOf(c.target).covered[i] = true
+					}
+				}
+			}
+			if !any {
+				out = append(out, p.diag("checkcover", c.pos,
+					"check.%s on %s.%s asserts nothing its //inv: contract declares; align the assertion with the contract",
+					c.fnName, ownerName(fc), c.target.Name()))
+			}
+		}
+		for _, ua := range fr.unproven {
+			if ua.field.Pkg() != p.Types {
+				continue
+			}
+			s := stateOf(ua.field)
+			s.unproven[ua.atomIdx] = append(s.unproven[ua.atomIdx], ua.fnName)
+		}
+	}
+
+	// Third leg: unproven atoms with no covering assertion anywhere in the
+	// declaring package, reported at the field declaration.
+	var fields []*types.Var
+	for fv := range states {
+		fields = append(fields, fv)
+	}
+	sort.Slice(fields, func(i, j int) bool {
+		return ct.fields[fields[i]].pos < ct.fields[fields[j]].pos
+	})
+	for _, fv := range fields {
+		s := states[fv]
+		fc := ct.fields[fv]
+		var idxs []int
+		for i := range s.unproven {
+			if !s.covered[i] {
+				idxs = append(idxs, i)
+			}
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			writers := s.unproven[i]
+			sort.Strings(writers)
+			out = append(out, p.diag("checkcover", fc.pos,
+				"//inv: %s on %s.%s is neither statically proven (writer %s) nor covered by an internal/check assertion in this package",
+				fc.atoms[i].describe(), ownerName(fc), fv.Name(), joinNames(writers)))
+		}
+	}
+	return out
+}
+
+func joinNames(names []string) string {
+	switch len(names) {
+	case 0:
+		return "?"
+	case 1:
+		return names[0]
+	}
+	s := names[0]
+	for _, n := range names[1:] {
+		s += ", " + n
+	}
+	return s
+}

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+
+	"dctcpplus/internal/core"
+	"dctcpplus/internal/dctcp"
+	"dctcpplus/internal/netsim"
+	"dctcpplus/internal/sim"
+	"dctcpplus/internal/tcp"
+	"dctcpplus/internal/workload"
+)
+
+// TestContractsHoldAtRuntime cross-validates the prover against the live
+// simulator: the same //inv: annotations the interval engine reads from
+// the real sources are sampled at runtime during seeded incast runs, and
+// every observation must land inside its declared interval. A contract the
+// prover trusts but the code violates fails here before it misleads a
+// static proof; a contract this test cannot find fails loudly rather than
+// silently sampling nothing.
+func TestContractsHoldAtRuntime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks four packages, then runs incasts")
+	}
+
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./internal/dctcp", "./internal/tcp", "./internal/core", "./internal/netsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	tbl := pkgs[0].Prog.contracts()
+
+	alphaIv := declaredFieldIval(t, tbl, "DCTCP", "alpha")
+	cwndIv := declaredFieldIval(t, tbl, "Sender", "cwnd")
+	slowIv := declaredFieldIval(t, tbl, "Enhancer", "slowTime")
+	qIv := declaredFieldIval(t, tbl, "Port", "qBytes")
+
+	// Sanity-pin the numeric halves so a weakened annotation (say alpha's
+	// upper bound dropped) fails the test instead of trivializing it.
+	if alphaIv.lo != 0 || alphaIv.hi != 1 {
+		t.Fatalf("DCTCP.alpha declares [%g, %g], want [0, 1]", alphaIv.lo, alphaIv.hi)
+	}
+	if cwndIv.lo != 1 {
+		t.Fatalf("Sender.cwnd declares lo %g, want 1", cwndIv.lo)
+	}
+	if slowIv.lo != 0 {
+		t.Fatalf("Enhancer.slowTime declares lo %g, want 0", slowIv.lo)
+	}
+	if qIv.lo != 0 {
+		t.Fatalf("Port.qBytes declares lo %g, want 0", qIv.lo)
+	}
+
+	for _, run := range []struct {
+		seed  uint64
+		flows int
+	}{
+		{seed: 1, flows: 12},
+		{seed: 7, flows: 24},
+		{seed: 23, flows: 40},
+	} {
+		sched := sim.NewScheduler()
+		topo := netsim.DefaultTopologyConfig()
+		tt := netsim.NewTwoTier(sched, 3, 3, topo)
+
+		// Even flows run plain DCTCP (alpha observable), odd flows DCTCP+
+		// (slowTime observable); every flow exposes cwnd.
+		factory := func(i int) (tcp.Config, tcp.CongestionControl) {
+			if i%2 == 0 {
+				cfg := dctcp.Config()
+				cfg.RTOMin, cfg.RTOInit = 10*sim.Millisecond, 10*sim.Millisecond
+				cfg.Seed = run.seed*1000 + uint64(i) + 1
+				return cfg, dctcp.New(dctcp.DefaultGain)
+			}
+			cfg := core.SenderConfig()
+			cfg.RTOMin, cfg.RTOInit = 10*sim.Millisecond, 10*sim.Millisecond
+			cfg.Seed = run.seed*1000 + uint64(i) + 1
+			return cfg, core.New(dctcp.DefaultGain, core.DefaultConfig())
+		}
+		in := workload.NewIncast(sched, tt, workload.IncastConfig{
+			Flows:        run.flows,
+			BytesPerFlow: 4000,
+			Rounds:       5,
+			Factory:      factory,
+			Seed:         run.seed,
+		})
+
+		samples := 0
+		var sample func()
+		sample = func() {
+			samples++
+			for _, c := range in.Conns() {
+				if w := c.Sender.CwndMSS(); w < cwndIv.lo || w > cwndIv.hi {
+					t.Fatalf("seed %d: cwnd %g outside declared [%g, %g]", run.seed, w, cwndIv.lo, cwndIv.hi)
+				}
+				switch cc := c.Sender.CC().(type) {
+				case *dctcp.DCTCP:
+					if a := cc.Alpha(); a < alphaIv.lo || a > alphaIv.hi {
+						t.Fatalf("seed %d: alpha %g outside declared [%g, %g]", run.seed, a, alphaIv.lo, alphaIv.hi)
+					}
+				case *core.Enhancer:
+					if s := float64(cc.SlowTime()); s < slowIv.lo || s > slowIv.hi {
+						t.Fatalf("seed %d: slowTime %g outside declared [%g, %g]", run.seed, s, slowIv.lo, slowIv.hi)
+					}
+				}
+			}
+			// qBytes' upper bound is symbolic (cfg.BufferBytes), so the
+			// runtime leg checks against the concrete config of the port
+			// being sampled.
+			q := tt.BottleneckPort.QueueBytes()
+			if float64(q) < qIv.lo || q > topo.SwitchPort.BufferBytes {
+				t.Fatalf("seed %d: qBytes %d outside [%g, %d]", run.seed, q, qIv.lo, topo.SwitchPort.BufferBytes)
+			}
+			sched.After(10*sim.Microsecond, sample)
+		}
+		sched.After(10*sim.Microsecond, sample)
+
+		in.OnFinished = sched.Halt
+		in.Start()
+		sched.RunUntil(sim.Time(60 * sim.Second))
+
+		if !in.Finished() {
+			t.Fatalf("seed %d: incast did not finish", run.seed)
+		}
+		if samples < 100 {
+			t.Fatalf("seed %d: only %d runtime samples; the property checked almost nothing", run.seed, samples)
+		}
+	}
+}
+
+// declaredFieldIval finds the //inv: contract for owner.field in the table
+// built from the real sources and returns the interval a reader may assume.
+func declaredFieldIval(t *testing.T, tbl *contractTable, owner, field string) ival {
+	t.Helper()
+	for fv, fc := range tbl.fields {
+		if fc.owner != nil && fc.owner.Name() == owner && fv.Name() == field {
+			return tbl.declaredIval(fc.atoms)
+		}
+	}
+	t.Fatalf("no //inv: contract found for %s.%s", owner, field)
+	return ival{}
+}

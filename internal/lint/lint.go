@@ -5,7 +5,7 @@
 // using nothing but the standard library (go/parser, go/ast, go/token,
 // go/types — the module is dependency-free and must stay that way).
 //
-// Twelve analyzers ship with the pass:
+// Fifteen analyzers ship with the pass:
 //
 //   - nondeterminism: wall-clock reads, math/rand, order-sensitive map
 //     iteration, and goroutine spawns inside simulation-scheduled code.
@@ -36,6 +36,17 @@
 //     sweep-reachable code).
 //   - cachekey: completeness proof that every field of a
 //     //cache:key-annotated struct flows into its cache-key method.
+//   - rangeproof: interval abstract interpretation of //inv: range
+//     contracts on struct fields and function params/results (see
+//     interval.go, contracts.go); writes the prover cannot discharge at
+//     function exit must carry a named internal/check assertion.
+//   - overflow: unbounded narrow-integer accumulation and
+//     wraparound-unsafe sequence arithmetic in //hot:path- or
+//     //sweep:job-reachable code.
+//   - checkcover: the runtime half of rangeproof — internal/check
+//     assertions on annotated fields must be named, must agree with the
+//     declared contract, and must exist for every atom left statically
+//     unproven.
 //
 // Intentional exceptions are declared inline with a directive comment on
 // the offending line (or the line above):
@@ -99,6 +110,9 @@ func All() []*Analyzer {
 		UnitFlow(),
 		SharedState(),
 		CacheKey(),
+		RangeProof(),
+		Overflow(),
+		CheckCover(),
 	}
 }
 

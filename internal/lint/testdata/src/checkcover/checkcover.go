@@ -1,0 +1,31 @@
+// Package checkcover exercises the checkcover analyzer: an anonymous
+// assertion on a contracted field, an assertion drifted away from the
+// contract it should enforce, and a contract left with neither proof nor
+// runtime coverage.
+package checkcover
+
+import "dctcpplus/internal/check"
+
+// Meter has contracted floors its writers cannot prove statically.
+type Meter struct {
+	//inv: depth >= 1
+	depth int
+	//inv: ratio >= 1
+	ratio float64
+}
+
+// Deepen's assertion discharges the contract but is anonymous: a runtime
+// violation would not name the invariant it guards.
+func (m *Meter) Deepen(d int) {
+	m.depth = d
+	check.AtLeast("", float64(m.depth), 1)
+}
+
+// Rescale's assertion drifted: it asserts a floor of 0 while the contract
+// declares a floor of 1, so the contract is not what runs. The atom is
+// then covered nowhere in the package, and the unproven write surfaces
+// through rangeproof too.
+func (m *Meter) Rescale(r float64) {
+	m.ratio = r
+	check.AtLeast("meter.ratio", m.ratio, 0)
+}

@@ -127,7 +127,7 @@ func TestBuilderCustomTopology(t *testing.T) {
 		t.Fatal("builder inventory wrong")
 	}
 
-	var hops int
+	var hops int64
 	h1.Register(7, FlowHandlerFunc(func(p *packet.Packet) { hops = p.Hops() }))
 	h0.Send(&packet.Packet{Dst: h1.ID(), Flow: 7, Payload: 100})
 	s.Run()
@@ -135,7 +135,7 @@ func TestBuilderCustomTopology(t *testing.T) {
 		t.Errorf("chain hops = %d, want 4", hops)
 	}
 	// Reverse.
-	var back int
+	var back int64
 	h0.Register(8, FlowHandlerFunc(func(p *packet.Packet) { back = p.Hops() }))
 	h1.Send(&packet.Packet{Dst: h0.ID(), Flow: 8, Payload: 100})
 	s.Run()

@@ -46,6 +46,7 @@ const (
 // PortConfig describes one output port's buffering and AQM behaviour.
 type PortConfig struct {
 	// BufferBytes is the static buffer associated with the port. Packets
+	//inv: BufferBytes >= 1
 	// arriving when the queue cannot hold them are tail-dropped. The
 	// paper's switches use 128KB per port.
 	BufferBytes int
@@ -101,9 +102,12 @@ type Port struct {
 	// starting at qHead. A ring (instead of append/slice-off) keeps the
 	// backing array at its high-water capacity, so steady-state
 	// enqueue/dequeue never allocates.
-	q      []*packet.Packet
-	qHead  int
-	qLen   int
+	q     []*packet.Packet
+	qHead int
+	qLen  int
+	// qBytes is the queue occupancy: tail drop in Enqueue rejects any
+	// arrival that would push it past the static buffer.
+	//inv: 0 <= qBytes && qBytes <= cfg.BufferBytes
 	qBytes int
 	busy   bool
 	paused bool // fault injection: frozen serialization (host stall)
@@ -170,6 +174,7 @@ func (p *Port) push(pkt *packet.Packet) {
 		p.grow()
 	}
 	p.q[(p.qHead+p.qLen)&(len(p.q)-1)] = pkt
+	//lint:allow overflow every queued packet occupies at least HeaderBytes of the finite buffer, so qLen is bounded by BufferBytes/HeaderBytes
 	p.qLen++
 }
 
@@ -178,6 +183,7 @@ func (p *Port) pop() *packet.Packet {
 	pkt := p.q[p.qHead]
 	p.q[p.qHead] = nil
 	p.qHead = (p.qHead + 1) & (len(p.q) - 1)
+	//lint:allow overflow every caller checks qLen > 0 before pop, per the contract above
 	p.qLen--
 	return pkt
 }

@@ -21,6 +21,7 @@ type TopologyConfig struct {
 	// HostQueueBytes sizes the host NIC output queue. Host queues do not
 	// mark ECN; they are deep enough that a window-limited sender never
 	// drops locally.
+	//inv: HostQueueBytes >= 1
 	HostQueueBytes int
 }
 
@@ -48,6 +49,7 @@ type idAllocator struct{ next packet.NodeID }
 
 func (a *idAllocator) alloc() packet.NodeID {
 	id := a.next
+	//lint:allow overflow ids are handed out once per node at topology construction; node counts are thousands, nowhere near 2^31
 	a.next++
 	return id
 }

@@ -99,9 +99,11 @@ type Packet struct {
 	Src, Dst NodeID
 	Flow     FlowID
 
-	Seq     int64 // first payload byte carried (senders), or 0
-	AckNo   int64 // cumulative ACK (when FlagACK set)
-	Payload int   // payload bytes carried (0 for pure ACKs/requests)
+	Seq   int64 // first payload byte carried (senders), or 0
+	AckNo int64 // cumulative ACK (when FlagACK set)
+	// Payload is the payload bytes carried (0 for pure ACKs/requests).
+	//inv: Payload >= 0
+	Payload int
 	Flags   Flags
 	ECN     ECN
 
@@ -117,7 +119,9 @@ type Packet struct {
 	ReqBytes int64
 
 	// hops counts forwarding steps, to catch routing loops in tests.
-	hops int
+	// int64 so a (hypothetical) unbounded forwarding loop cannot wrap the
+	// counter before the netsim maxHops guard catches it.
+	hops int64
 
 	// nextFree links recycled packets inside a Pool.
 	nextFree *Packet
@@ -138,13 +142,13 @@ func (p *Packet) IsAck() bool { return p.Flags.Has(FlagACK) && p.Payload == 0 }
 // Hop increments and returns the forwarding hop count. Network elements
 // call this on every forward; anything beyond a sane diameter indicates a
 // routing loop and is treated as a model bug by the switch.
-func (p *Packet) Hop() int {
+func (p *Packet) Hop() int64 {
 	p.hops++
 	return p.hops
 }
 
 // Hops returns the number of forwarding steps so far.
-func (p *Packet) Hops() int { return p.hops }
+func (p *Packet) Hops() int64 { return p.hops }
 
 // String formats the packet for traces and test failures.
 func (p *Packet) String() string {

@@ -77,7 +77,7 @@ func TestHopCounting(t *testing.T) {
 	if p.Hops() != 0 {
 		t.Error("fresh packet has hops")
 	}
-	for i := 1; i <= 5; i++ {
+	for i := int64(1); i <= 5; i++ {
 		if got := p.Hop(); got != i {
 			t.Errorf("Hop() = %d, want %d", got, i)
 		}

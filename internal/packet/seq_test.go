@@ -1,0 +1,63 @@
+package packet
+
+import "testing"
+
+func TestSeqCompareNoWrap(t *testing.T) {
+	if !SeqLT(1, 2) || SeqLT(2, 1) || SeqLT(7, 7) {
+		t.Error("SeqLT wrong on plain values")
+	}
+	if !SeqLEQ(7, 7) || !SeqLEQ(1, 2) || SeqLEQ(2, 1) {
+		t.Error("SeqLEQ wrong on plain values")
+	}
+	if !SeqGT(2, 1) || SeqGT(1, 2) || SeqGT(7, 7) {
+		t.Error("SeqGT wrong on plain values")
+	}
+	if !SeqGEQ(7, 7) || !SeqGEQ(2, 1) || SeqGEQ(1, 2) {
+		t.Error("SeqGEQ wrong on plain values")
+	}
+}
+
+func TestSeqCompareAcrossWrap(t *testing.T) {
+	// A naive uint32 compare inverts near the wrap point: 0xFFFFFFF0 < 0x10
+	// is false arithmetically but true in sequence space.
+	var a, b Seq32 = 0xFFFFFFF0, 0x10
+	if !SeqLT(a, b) {
+		t.Errorf("SeqLT(%#x, %#x) = false, want true across the wrap", a, b)
+	}
+	if SeqLT(b, a) {
+		t.Errorf("SeqLT(%#x, %#x) = true, want false across the wrap", b, a)
+	}
+	if !SeqGEQ(b, a) || SeqGEQ(a, b) {
+		t.Error("SeqGEQ disagrees with SeqLT across the wrap")
+	}
+}
+
+func TestSeqDelta(t *testing.T) {
+	cases := []struct {
+		a, b Seq32
+		want int32
+	}{
+		{10, 3, 7},
+		{3, 10, -7},
+		{0x10, 0xFFFFFFF0, 0x20}, // forward across the wrap
+		{0xFFFFFFF0, 0x10, -0x20},
+		{5, 5, 0},
+	}
+	for _, c := range cases {
+		if got := SeqDelta(c.a, c.b); got != c.want {
+			t.Errorf("SeqDelta(%#x, %#x) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSeqAddRoundTrips(t *testing.T) {
+	starts := []Seq32{0, 1, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF}
+	deltas := []int32{0, 1, -1, 1000, -1000, 0x7FFFFFF0}
+	for _, s := range starts {
+		for _, d := range deltas {
+			if got := SeqDelta(SeqAdd(s, d), s); got != d {
+				t.Errorf("SeqDelta(SeqAdd(%#x, %d), %#x) = %d, want %d", s, d, s, got, d)
+			}
+		}
+	}
+}

@@ -14,7 +14,9 @@ import (
 // Summary holds the descriptive statistics the paper reports for FCT and
 // throughput series (Fig. 13 uses mean / 95th / 99th percentiles).
 type Summary struct {
-	Count int
+	// Count is int64: streaming summaries fold one sample per ACK or
+	// round, and a long sweep overflows a 32-bit tally.
+	Count int64
 	Mean  float64
 	Std   float64
 	Min   float64
@@ -54,7 +56,7 @@ func Summarize(samples []float64) Summary {
 		w.Add(v)
 	}
 	return Summary{
-		Count: n,
+		Count: int64(n),
 		Mean:  w.Mean(),
 		Std:   w.Std(),
 		Min:   sorted[0],

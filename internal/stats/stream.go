@@ -189,7 +189,7 @@ func (s *Stream) Summary() Summary {
 		return Summary{}
 	}
 	return Summary{
-		Count: int(s.w.N()),
+		Count: s.w.N(),
 		Mean:  s.w.Mean(),
 		Std:   s.w.Std(),
 		Min:   s.min,

@@ -1,0 +1,41 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestSummaryCountWidth pins Summary.Count to int64. It used to be int,
+// and Stream.Summary narrowed the Welford int64 tally through int(...) —
+// correct on 64-bit hosts, silently truncating on 32-bit ones. A width
+// regression reintroduces that portability bug even if every value-level
+// test below still passes on a 64-bit CI host.
+func TestSummaryCountWidth(t *testing.T) {
+	f, ok := reflect.TypeOf(Summary{}).FieldByName("Count")
+	if !ok {
+		t.Fatal("Summary has no Count field")
+	}
+	if f.Type.Kind() != reflect.Int64 {
+		t.Errorf("Summary.Count is %s, want int64 (32-bit hosts truncate larger tallies)", f.Type)
+	}
+}
+
+// TestStreamSummaryCountBeyondInt32 drives the streaming path with a
+// sample count past the 32-bit boundary. The P² and Welford state are
+// seeded white-box: folding 2^31 real samples is not a unit test.
+func TestStreamSummaryCountBeyondInt32(t *testing.T) {
+	s := NewStream()
+	for i := 0; i < 8; i++ {
+		s.Add(float64(i))
+	}
+	const n = int64(math.MaxInt32) + 7
+	s.w.n = n
+	sum := s.Summary()
+	if sum.Count != n {
+		t.Errorf("Summary.Count = %d, want %d (narrowed through a 32-bit conversion?)", sum.Count, n)
+	}
+	if s.N() != n {
+		t.Errorf("N() = %d, want %d", s.N(), n)
+	}
+}

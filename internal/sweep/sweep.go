@@ -441,7 +441,7 @@ func resultOf(pt Point, r exp.IncastResult) Result {
 		SimTime:          r.SimTime,
 	}
 	if r.FaultStats != nil {
-		res.FaultsInjected = int64(r.FaultStats.EventsFired)
+		res.FaultsInjected = r.FaultStats.EventsFired
 	}
 	return res
 }

@@ -51,9 +51,11 @@ func (m ECNMode) String() string {
 // usable; start from DefaultConfig.
 type Config struct {
 	// MSS is the maximum payload bytes per segment.
+	//inv: MSS >= 1
 	MSS int
 
 	// InitialCwnd is the initial congestion window in MSS units.
+	//inv: InitialCwnd >= 1
 	InitialCwnd float64
 
 	// MinCwnd is the congestion window floor in MSS units for ECN/loss
@@ -61,12 +63,15 @@ type Config struct {
 	// collapse cwnd to 1 MSS, as in Linux; the paper uses cwnd=1 samples
 	// as its timeout indicator. DCTCP+ lowers this floor to 1 MSS
 	// (footnote 3) for smoother rate changes.
+	//inv: MinCwnd >= 1
 	MinCwnd float64
 
 	// MaxCwnd caps the window in MSS units (the receiver window stand-in).
+	//inv: MaxCwnd >= 1
 	MaxCwnd float64
 
 	// DupThresh is the duplicate-ACK threshold for fast retransmit.
+	//inv: DupThresh >= 1
 	DupThresh int
 
 	// RTOMin clamps the retransmission timeout from below. Default 200ms
@@ -89,6 +94,7 @@ type Config struct {
 
 	// DelAckCount acknowledges every n-th in-order segment (Linux default
 	// behaviour is 2). 1 disables delayed ACKs.
+	//inv: DelAckCount >= 1
 	DelAckCount int
 	// DelAckTimeout flushes a pending delayed ACK.
 	DelAckTimeout sim.Duration

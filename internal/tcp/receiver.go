@@ -1,6 +1,7 @@
 package tcp
 
 import (
+	"dctcpplus/internal/check"
 	"dctcpplus/internal/netsim"
 	"dctcpplus/internal/packet"
 	"dctcpplus/internal/sim"
@@ -37,7 +38,10 @@ type Receiver struct {
 	rcvNxt int64
 	ooo    []interval // sorted, disjoint, all above rcvNxt
 
-	pendingSegs int // in-order segments not yet acknowledged
+	// pendingSegs counts in-order segments not yet acknowledged; reaching
+	// DelAckCount triggers an ACK that resets it.
+	//inv: 0 <= pendingSegs && pendingSegs <= cfg.DelAckCount
+	pendingSegs int
 	delackTimer *sim.Timer
 
 	// ECN echo state.
@@ -165,6 +169,7 @@ func (r *Receiver) Deliver(pkt *packet.Packet) {
 		} else if !r.delackTimer.Armed() {
 			r.delackTimer.Reset(r.cfg.DelAckTimeout)
 		}
+		check.AtMost("tcp.receiver pending segments", int64(r.pendingSegs), int64(r.cfg.DelAckCount))
 	}
 }
 

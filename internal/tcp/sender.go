@@ -81,12 +81,25 @@ type Sender struct {
 	maxSent      int64 // highest byte ever transmitted (for go-back-N rtx marking)
 	completeMark int64
 
-	cwnd     float64 // congestion window, in MSS units
-	ssthresh float64 // slow-start threshold, in MSS units
+	// cwnd is the congestion window in MSS units. Every reduction clamps
+	// to at least the 1-MSS loss-window floor; recovery inflation only
+	// grows it.
+	//inv: cwnd >= 1
+	cwnd float64
+	// ssthresh is the slow-start threshold in MSS units, clamped to the
+	// configured window floor after every reduction.
+	//inv: ssthresh >= 1
+	ssthresh float64
 	state    SenderState
-	dupacks  int
-	recover  int64 // recovery point: snd_nxt when loss was detected
-	ltCredit int   // limited-transmit segments usable beyond cwnd (RFC 3042)
+	// dupacks counts consecutive duplicate ACKs; int64 because nothing
+	// bounds a mass-incast ACK storm short of the 64-bit ceiling.
+	dupacks int64
+	recover int64 // recovery point: snd_nxt when loss was detected
+	// ltCredit is the limited-transmit segments usable beyond cwnd
+	// (RFC 3042): at most two per disorder episode, by the guard on the
+	// only increment.
+	//inv: 0 <= ltCredit && ltCredit <= 2
+	ltCredit int
 
 	// ECN reaction bookkeeping (at most one reduction per window of data).
 	cwrEnd     int64
@@ -98,6 +111,9 @@ type Sender struct {
 	timedAt    sim.Time
 	timedValid bool
 	rtt        *rttEstimator
+	// rtoBackoff is the RTO exponent (rto << rtoBackoff), capped by the
+	// guard on its only increment so the shift stays well-defined.
+	//inv: rtoBackoff <= 16
 	rtoBackoff uint
 
 	rtoTimer     *sim.Timer
@@ -482,7 +498,7 @@ func (s *Sender) Deliver(pkt *packet.Packet) {
 				s.grow(acked)
 			}
 		}
-		if s.dupacks >= s.cfg.DupThresh {
+		if s.dupacks >= int64(s.cfg.DupThresh) {
 			s.enterRecovery()
 		}
 	case StateRecovery:
@@ -560,7 +576,10 @@ func (s *Sender) assertInvariants() {
 }
 
 // grow applies slow start or congestion avoidance to the window, honoring
-// any growth cap imposed by the congestion module (see CwndCapper).
+// any growth cap imposed by the congestion module (see CwndCapper). Both
+// callers guard on forward progress.
+//
+// inv: acked >= 1
 func (s *Sender) grow(acked int64) {
 	if capper, ok := s.cc.(CwndCapper); ok {
 		if cap, active := capper.CwndCap(s); active && s.cwnd >= cap {
@@ -577,6 +596,8 @@ func (s *Sender) grow(acked int64) {
 }
 
 // clampCwnd bounds a window value to [MinCwnd, MaxCwnd].
+//
+// inv: return >= 1
 func (s *Sender) clampCwnd(w float64) float64 {
 	if w < s.cfg.MinCwnd {
 		return s.cfg.MinCwnd

@@ -116,10 +116,10 @@ type Incast struct {
 	// workerOf maps a flow to its worker host for service accounting.
 	workerOf map[packet.FlowID]packet.NodeID
 
-	round      int
+	round      int64
 	roundStart sim.Time
 	recvd      []int64
-	doneFlows  int
+	doneFlows  int64
 	statsMark  []tcp.SenderStats // per-flow snapshot at round start
 	// servedRound[i] is the last round whose request flow i's worker has
 	// served (-1 initially): the dedup that makes request retries
@@ -194,7 +194,9 @@ func (in *Incast) Conns() []*tcp.Conn { return in.conns }
 func (in *Incast) Results() []RoundResult { return in.results }
 
 // Finished reports whether all rounds completed.
-func (in *Incast) Finished() bool { return in.round >= in.cfg.Rounds && in.doneFlows == 0 }
+func (in *Incast) Finished() bool {
+	return in.round >= int64(in.cfg.Rounds) && in.doneFlows == 0
+}
 
 // Start issues the first round's requests. The caller then runs the
 // scheduler.
@@ -225,7 +227,7 @@ func (in *Incast) sendRequest(i int) {
 	in.tt.Aggregator.Send(&packet.Packet{
 		Dst:      in.conns[i].Receiver.Peer(),
 		Flow:     packet.FlowID(i + 1),
-		Seq:      int64(in.round),
+		Seq:      in.round,
 		Flags:    packet.FlagREQ,
 		ReqBytes: in.cfg.BytesPerFlow,
 		SendTime: in.sched.Now(),
@@ -236,7 +238,7 @@ func (in *Incast) sendRequest(i int) {
 // delivered nothing yet, then re-arms itself while any such flow remains.
 // Flows with partial data are left alone: their request arrived, and loss
 // recovery is the transport's job.
-func (in *Incast) retryRequests(round int) {
+func (in *Incast) retryRequests(round int64) {
 	if in.round != round {
 		return // the round closed while the timer was pending
 	}
@@ -298,7 +300,7 @@ func (in *Incast) onData(i int, n int64) {
 	check.AtMost("workload.incast received bytes", in.recvd[i], in.cfg.BytesPerFlow)
 	if in.recvd[i] == in.cfg.BytesPerFlow {
 		in.doneFlows++
-		if in.doneFlows == in.cfg.Flows {
+		if in.doneFlows == int64(in.cfg.Flows) {
 			in.endRound()
 		}
 	}
@@ -326,7 +328,7 @@ func (in *Incast) endRound() {
 	in.mFCT.Observe(int64(res.FCT))
 	in.round++
 	in.doneFlows = 0
-	if in.round < in.cfg.Rounds {
+	if in.round < int64(in.cfg.Rounds) {
 		in.startRound()
 		return
 	}
