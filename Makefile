@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fmt-check lint lint-fix-check check bench alloc-check fault-smoke sweep-smoke baseline clean
+.PHONY: all build vet test race fmt-check lint lint-fix-check check bench alloc-check fault-smoke sweep-smoke oracle-smoke baseline clean
 
 all: check
 
@@ -41,7 +41,7 @@ lint:
 lint-fix-check:
 	$(GO) test -run 'TestFixGoldens|TestApplyEdits|TestRunFix' ./internal/lint ./cmd/simlint
 
-check: build vet fmt-check lint lint-fix-check race fault-smoke sweep-smoke
+check: build vet fmt-check lint lint-fix-check race fault-smoke sweep-smoke oracle-smoke
 
 # Fault-injection smoke: a full-mix faulted sweep must complete, stay
 # deterministic, conserve every packet/byte, and keep DCTCP+ no worse than
@@ -70,6 +70,20 @@ sweep-smoke:
 		echo "sweep-smoke: cached aggregates differ from first pass:"; \
 		diff "$$dir/first.tbl" "$$dir/second.tbl"; exit 1; }; \
 	echo "sweep-smoke: 8/8 cache hits, aggregates byte-identical"
+
+# Trace-oracle conformance smoke: the rule-level oracle tests, the full
+# protocol × fault-class matrix (TestOracleMatrix) and the metamorphic
+# harness must run violation-free, then the incast command's -oracle gate
+# must pass a faulted multi-protocol sweep end to end. On violation the
+# command writes the minimized event-window trace to $(ORACLE_TRACE),
+# which CI uploads as the failure artifact.
+ORACLE_TRACE ?= oracle-violations.txt
+oracle-smoke:
+	$(GO) test ./internal/oracle
+	$(GO) test -run 'Oracle' ./internal/exp ./internal/sweep
+	$(GO) run ./cmd/incast -protocols tcp,dctcp,dctcp+,d2tcp+ -flows 48 \
+		-rounds 4 -warmup 1 -faults all -oracle -oracle-trace $(ORACLE_TRACE) >/dev/null
+	@echo "oracle-smoke: protocol x fault matrix oracle-clean"
 
 # Benchmarks with the alloc column: the sim, netsim and tcp hot paths must
 # report 0 allocs/op (the AllocsPerRun tests in those packages pin it).

@@ -52,6 +52,10 @@ func main() {
 		cacheDir  = flag.String("cache-dir", "",
 			"content-addressed result cache directory (empty disables caching)")
 		resume = flag.Bool("resume", false, "continue a sweep whose manifest already exists in -cache-dir")
+		oracle = flag.Bool("oracle", false,
+			"run every point under the trace-conformance oracle; any violation fails the command")
+		oracleTrace = flag.String("oracle-trace", "",
+			"write rendered oracle violations (with minimized event windows) to this file; requires -oracle, written only on violation")
 	)
 	flag.Parse()
 
@@ -60,6 +64,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := validateSweepFlags(*jobs, *cacheDir, *resume); err != nil {
+		fmt.Fprintln(os.Stderr, "incast:", err)
+		os.Exit(2)
+	}
+	if err := validateOracleFlags(*oracle, *oracleTrace); err != nil {
 		fmt.Fprintln(os.Stderr, "incast:", err)
 		os.Exit(2)
 	}
@@ -95,6 +103,7 @@ func main() {
 		TotalBytes:   *total,
 		BytesPerFlow: *per,
 		Jitter:       dcp.Duration(*jitter),
+		Oracle:       *oracle,
 	}
 	runner := dcp.SweepRunner{Workers: *jobs, Resume: *resume, Telemetry: reg}
 	if *cacheDir != "" {
@@ -141,6 +150,32 @@ func main() {
 		}
 		fmt.Printf("telemetry: %d instruments -> %s\n", len(snap.Instruments), *telOut)
 	}
+
+	if *oracle {
+		if total, lines := dcp.SweepOracleReport(out.Results); total > 0 {
+			failOracle("incast", total, lines, *oracleTrace)
+		}
+		fmt.Printf("oracle: clean (%d points)\n", len(out.Results))
+	}
+}
+
+// failOracle renders the sweep's conformance violations to stderr — and to
+// the -oracle-trace file, which CI uploads as the failure artifact — then
+// exits nonzero.
+func failOracle(tool string, total int64, lines []string, trace string) {
+	for _, ln := range lines {
+		fmt.Fprintln(os.Stderr, ln)
+	}
+	if trace != "" {
+		data := strings.Join(lines, "\n") + "\n"
+		if err := os.WriteFile(trace, []byte(data), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: oracle trace -> %s\n", tool, trace)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d oracle violations\n", tool, total)
+	os.Exit(1)
 }
 
 func parseInts(csv string) ([]int, error) {

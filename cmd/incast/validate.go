@@ -53,6 +53,23 @@ func validateSweepFlags(jobs int, cacheDir string, resume bool) error {
 	return nil
 }
 
+// validateOracleFlags ties the trace output to the checker: an -oracle-trace
+// without -oracle would silently never be written, and (like -cache-dir) a
+// typo'd trace path should fail at the flag boundary, not after the sweep.
+func validateOracleFlags(oracle bool, trace string) error {
+	if trace == "" {
+		return nil
+	}
+	if !oracle {
+		return fmt.Errorf("-oracle-trace: requires -oracle (the trace renders oracle violations)")
+	}
+	parent := filepath.Dir(filepath.Clean(trace))
+	if fi, err := os.Stat(parent); err != nil || !fi.IsDir() {
+		return fmt.Errorf("-oracle-trace %s: parent directory %s does not exist", trace, parent)
+	}
+	return nil
+}
+
 // parseFaultGen resolves the -faults/-faultseed flags into a fault-plan
 // generator config. An empty spec disables injection (nil config); "all"
 // or a comma-separated class list selects which pathologies to inject.

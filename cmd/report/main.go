@@ -32,6 +32,8 @@ var (
 	cacheDir = flag.String("cache-dir", "",
 		"content-addressed result cache for the sweep-backed sections (empty disables caching)")
 	resume = flag.Bool("resume", false, "continue a battery whose manifest already exists in -cache-dir")
+	oracle = flag.Bool("oracle", false,
+		"run the ablation and resilience sections under the trace-conformance oracle; violations fail the report")
 )
 
 // figure is the common surface of the typed per-figure experiments.
@@ -123,15 +125,40 @@ func main() {
 		st.fig.Render(os.Stdout)
 	}
 
-	ablations(scale)
+	violations := ablations(scale, *oracle)
 	if *faults {
-		resilience(scale)
+		violations += resilience(scale, *oracle)
 	}
 	if err := writeTelemetry(scale, time.Since(start)); err != nil {
 		fmt.Fprintln(os.Stderr, "report:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("\nreport completed in %v\n", time.Since(start).Round(time.Second))
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "report: %d oracle violations\n", violations)
+		os.Exit(1)
+	}
+	if *oracle {
+		fmt.Println("oracle: clean")
+	}
+}
+
+// oracleCount reports a direct run's conformance violations to stderr and
+// returns the count, so the battery can fail at the end without losing the
+// rest of its output.
+func oracleCount(label string, r dcp.IncastResult) int64 {
+	if r.OracleTotal == 0 {
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "report: %s: %d oracle violations\n", label, r.OracleTotal)
+	for i, v := range r.OracleViolations {
+		if i >= 3 {
+			fmt.Fprintf(os.Stderr, "  ... (%d more)\n", len(r.OracleViolations)-i)
+			break
+		}
+		fmt.Fprintln(os.Stderr, " ", v)
+	}
+	return r.OracleTotal
 }
 
 // writeTelemetry dumps the shared registry to the -telemetry and -baseline
@@ -213,13 +240,14 @@ func withScale14(f *dcp.Figure14, sc dcp.Scale) *dcp.Figure14 {
 // deliberately skip the shared registry: the same {proto, flows} label set
 // across rows would merge instruments from different fault classes into
 // one indistinguishable pile.
-func resilience(sc dcp.Scale) {
+func resilience(sc dcp.Scale, oracleOn bool) int64 {
 	section("Resilience: DCTCP vs DCTCP+ under injected faults (N=150, RTOmin 10ms)",
 		"DCTCP+ keeps its advantage outright and degrades no worse than DCTCP under every fault class")
 	base := dcp.DefaultIncastOptions(dcp.ProtoDCTCP, 150)
 	base.Rounds, base.WarmupRounds = 10, 2
 	base.RTOMin = 10 * dcp.Millisecond
 	base.Testbed.Seed = sc.Seed
+	base.Oracle = oracleOn
 	protos := []dcp.Protocol{dcp.ProtoDCTCP, dcp.ProtoDCTCPPlus}
 	rows := dcp.RunResilience(dcp.ResilienceOptions{
 		Base:      base,
@@ -227,17 +255,26 @@ func resilience(sc dcp.Scale) {
 		Gen:       dcp.FaultGenConfig{Seed: sc.Seed},
 	})
 	dcp.PrintResilienceRows(os.Stdout, protos, rows)
+	var bad int64
+	for _, row := range rows {
+		for c, res := range row.Results {
+			bad += oracleCount("resilience "+row.Label+"/"+protos[c].String(), res)
+		}
+	}
+	return bad
 }
 
-func ablations(sc dcp.Scale) {
+func ablations(sc dcp.Scale, oracleOn bool) int64 {
 	section("Ablations (DESIGN.md): backoff unit / divisor / desync / min-cwnd / compositions",
 		"unit ~ effective RTT is the sweet spot; divisor 2; min-cwnd alone does not rescue DCTCP; the mechanism composes with reno/d2tcp/HULL")
+	var bad int64
 	opts := func(p dcp.Protocol, n int) dcp.IncastOptions {
 		o := dcp.DefaultIncastOptions(p, n)
 		o.Rounds = sc.Rounds
 		o.WarmupRounds = sc.Warmup
 		o.Testbed.Seed = sc.Seed
 		o.Telemetry = sc.Telemetry
+		o.Oracle = oracleOn
 		return o
 	}
 	for _, unit := range []dcp.Duration{100 * dcp.Microsecond, 400 * dcp.Microsecond,
@@ -249,6 +286,7 @@ func ablations(sc dcp.Scale) {
 		r := dcp.RunIncast(o)
 		fmt.Printf("unit=%-8v   goodput=%5.0f Mbps fct=%7.2fms timeouts=%d\n",
 			unit, r.GoodputMbps.Mean, r.FCTms.Mean, r.Timeouts)
+		bad += oracleCount(fmt.Sprintf("ablation unit=%v", unit), r)
 	}
 	for _, div := range []float64{1.5, 2, 4, 8} {
 		cfg := dcp.DefaultEnhancementConfig()
@@ -258,6 +296,7 @@ func ablations(sc dcp.Scale) {
 		r := dcp.RunIncast(o)
 		fmt.Printf("divisor=%-6v goodput=%5.0f Mbps fct=%7.2fms timeouts=%d\n",
 			div, r.GoodputMbps.Mean, r.FCTms.Mean, r.Timeouts)
+		bad += oracleCount(fmt.Sprintf("ablation divisor=%v", div), r)
 	}
 	// The standard-protocol comparison grid runs through the sweep
 	// orchestrator: every cell is a plain (protocol, N) point, so it is
@@ -276,6 +315,7 @@ func ablations(sc dcp.Scale) {
 			TotalBytes:   1 << 20,
 			Jitter:       4 * dcp.Millisecond,
 			MaxSimTime:   30 * 60 * dcp.Second,
+			Oracle:       oracleOn,
 		}
 	}
 	runner := dcp.SweepRunner{Workers: *jobs, Resume: *resume, Telemetry: sc.Telemetry}
@@ -315,6 +355,12 @@ func ablations(sc dcp.Scale) {
 	if runner.Cache != nil {
 		fmt.Printf("(sweep cache: %d hit, %d run)\n", out.Hits, out.Misses)
 	}
+	if total, lines := dcp.SweepOracleReport(out.Results); total > 0 {
+		for _, ln := range lines {
+			fmt.Fprintln(os.Stderr, ln)
+		}
+		bad += total
+	}
 
 	// HULL composition: DCTCP over phantom-queue switches.
 	hull := opts(dcp.ProtoDCTCP, 40)
@@ -328,4 +374,7 @@ func ablations(sc dcp.Scale) {
 	fmt.Printf("\nHULL composition at N=40: goodput=%0.f Mbps (std %0.f), queue p99=%0.f bytes (std %0.f)\n",
 		hr.GoodputMbps.Mean, sr.GoodputMbps.Mean,
 		hr.QueueCDF().Quantile(0.99), sr.QueueCDF().Quantile(0.99))
+	bad += oracleCount("ablation hull-composition", hr)
+	bad += oracleCount("ablation std-composition", sr)
+	return bad
 }

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	dcp "dctcpplus"
@@ -47,10 +48,18 @@ func main() {
 		resume   = flag.Bool("resume", false, "continue a sweep whose manifest already exists in -cache-dir")
 		telOut   = flag.String("telemetry", "", "write the sweep's instrument dump to this file as JSON lines")
 		quiet    = flag.Bool("q", false, "suppress progress lines")
+		oracle   = flag.Bool("oracle", false,
+			"run every job under the trace-conformance oracle; any violation fails the command")
+		oracleTrace = flag.String("oracle-trace", "",
+			"write rendered oracle violations (with minimized event windows) to this file; requires -oracle, written only on violation")
 	)
 	flag.Parse()
 
 	if err := validateSweepFlags(*jobs, *cacheDir, *resume); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(2)
+	}
+	if err := validateOracleFlags(*oracle, *oracleTrace); err != nil {
 		fmt.Fprintln(os.Stderr, "sweep:", err)
 		os.Exit(2)
 	}
@@ -70,6 +79,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sweep: -preset %s: unknown preset (want large-n)\n", *preset)
 		os.Exit(2)
 	}
+	spec.Oracle = *oracle
 
 	runner := dcp.SweepRunner{
 		Workers:   *jobs,
@@ -112,6 +122,32 @@ func main() {
 			os.Exit(1)
 		}
 	}
+
+	if *oracle {
+		if total, lines := dcp.SweepOracleReport(out.Results); total > 0 {
+			failOracle(total, lines, *oracleTrace)
+		}
+		fmt.Printf("oracle: clean (%d jobs)\n", len(out.Results))
+	}
+}
+
+// failOracle renders the sweep's conformance violations to stderr — and to
+// the -oracle-trace file, which CI uploads as the failure artifact — then
+// exits nonzero.
+func failOracle(total int64, lines []string, trace string) {
+	for _, ln := range lines {
+		fmt.Fprintln(os.Stderr, ln)
+	}
+	if trace != "" {
+		data := strings.Join(lines, "\n") + "\n"
+		if err := os.WriteFile(trace, []byte(data), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sweep:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "sweep: oracle trace -> %s\n", trace)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "sweep: %d oracle violations\n", total)
+	os.Exit(1)
 }
 
 func hitRate(out *dcp.SweepOutcome) float64 {

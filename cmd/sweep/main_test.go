@@ -36,6 +36,31 @@ func TestValidateSweepFlags(t *testing.T) {
 	}
 }
 
+func TestValidateOracleFlags(t *testing.T) {
+	parent := t.TempDir()
+	cases := []struct {
+		name    string
+		oracle  bool
+		trace   string
+		wantErr bool
+	}{
+		{"both off", false, "", false},
+		{"oracle without trace", true, "", false},
+		{"oracle with trace", true, parent + "/viol.txt", false},
+		{"trace without oracle", false, parent + "/viol.txt", true},
+		{"nonexistent trace parent", true, parent + "/no/such/viol.txt", true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateOracleFlags(c.oracle, c.trace)
+			if (err != nil) != c.wantErr {
+				t.Errorf("validateOracleFlags(%v, %q) = %v, wantErr=%v",
+					c.oracle, c.trace, err, c.wantErr)
+			}
+		})
+	}
+}
+
 func TestBuildSpec(t *testing.T) {
 	spec, err := buildSpec("t", "dctcp+,dctcp", "40,80", "200ms,10ms", "1,2,3",
 		"default,hull", "none;all;loss,delay", 7, 50, 10, 1<<20, 0, 4*time.Millisecond)

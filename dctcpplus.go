@@ -197,6 +197,14 @@ func WriteSweepGroups(w io.Writer, groups []*SweepGroup) error {
 	return sweep.WriteGroups(w, groups)
 }
 
+// SweepOracleReport folds the conformance-oracle outcome of a completed
+// sweep: the total violation count plus one rendered block per violating
+// point (identity, then sampled violations with their minimized event
+// windows). (0, nil) means the sweep ran oracle-clean.
+func SweepOracleReport(results []SweepResult) (total int64, lines []string) {
+	return sweep.OracleReport(results)
+}
+
 // DefaultSweepWorkers is the worker-pool width used when a runner's
 // Workers field (or a command's -jobs flag) is left at its default: one
 // worker per available CPU.

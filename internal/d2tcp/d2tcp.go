@@ -57,6 +57,12 @@ func (t *D2TCP) Name() string { return "d2tcp" }
 // Alpha returns the underlying congestion-extent estimate.
 func (t *D2TCP) Alpha() float64 { return t.inner.Alpha() }
 
+// Gain returns the underlying estimator's EWMA gain.
+func (t *D2TCP) Gain() float64 { return t.inner.Gain() }
+
+// Updates returns the underlying estimator's completed alpha folds.
+func (t *D2TCP) Updates() int64 { return t.inner.Updates() }
+
 // DeadlineFactor returns the clamped urgency d.
 func (t *D2TCP) DeadlineFactor() float64 { return t.d }
 
@@ -83,8 +89,14 @@ func (t *D2TCP) SsthreshAfterLoss(s *tcp.Sender) float64 {
 	return s.CwndMSS() / 2
 }
 
-// OnTimeout keeps estimator state across RTOs.
-func (t *D2TCP) OnTimeout(*tcp.Sender) {}
+// OnTimeout keeps alpha across RTOs but must forward to the estimator so it
+// re-anchors its observation window at the rewound snd_nxt and drops the
+// partially-accumulated marked-byte counts. Swallowing the hook here (as
+// this module originally did) left windowEnd beyond the post-rewind
+// snd_nxt: alpha froze until the whole pre-timeout window was re-ACKed and
+// every retransmitted byte was double-counted in F — the same bug fixed in
+// the DCTCP module by PR 4, resurfaced by the oracle's alpha-cadence rule.
+func (t *D2TCP) OnTimeout(s *tcp.Sender) { t.inner.OnTimeout(s) }
 
 // PacingDelay is zero; compose with core.Enhance for the DCTCP+ mechanism.
 func (t *D2TCP) PacingDelay(*tcp.Sender) sim.Duration { return 0 }

@@ -95,6 +95,83 @@ func TestDeadlineDifferentiation(t *testing.T) {
 	}
 }
 
+// rtoShim sits on the data path and drops data segments while *drop is set,
+// forcing a genuine RTO in a live connection.
+type rtoShim struct {
+	dst  netsim.Node
+	drop *bool
+}
+
+func (m *rtoShim) ID() packet.NodeID { return 51 }
+func (m *rtoShim) Deliver(p *packet.Packet) {
+	if *m.drop && p.IsData() {
+		return
+	}
+	m.dst.Deliver(p)
+}
+
+// TestOnTimeoutForwardsToEstimator is the regression for the swallowed RTO
+// hook: D2TCP's OnTimeout was a no-op instead of forwarding to the inner
+// DCTCP estimator, so after a go-back-N rewind the observation window
+// anchor stayed at the pre-timeout snd_nxt — alpha folds stalled until the
+// entire lost window was re-acknowledged and the retransmitted bytes were
+// double-counted in the marked fraction (the exact bug fixed for plain
+// DCTCP in TestWindowReanchorsAfterRTO, resurfaced here by the oracle's
+// alpha-cadence rule). Post-fix, the first window of ACKs after the rewind
+// must complete a fold.
+func TestOnTimeoutForwardsToEstimator(t *testing.T) {
+	s := sim.NewScheduler()
+	a := netsim.NewHost(s, 1, "a")
+	b := netsim.NewHost(s, 2, "b")
+	drop := new(bool)
+	shim := &rtoShim{dst: b, drop: drop}
+	a.SetUplink(netsim.NewPort(s, netsim.NewLink(s, shim, 1e9, 50*sim.Microsecond),
+		netsim.PortConfig{BufferBytes: 4 << 20}))
+	b.SetUplink(netsim.NewPort(s, netsim.NewLink(s, a, 1e9, 50*sim.Microsecond),
+		netsim.PortConfig{BufferBytes: 4 << 20}))
+	cfg := Config()
+	cfg.Seed = 7
+	d2 := New(dctcp.DefaultGain, 1.5)
+	c := tcp.NewConn(cfg, d2, a, b, 3)
+	snd := c.Sender
+
+	// Cut the data path once 10 MSS are acknowledged — mid-window, with the
+	// estimator's observation anchor strictly ahead of snd_una.
+	checked := false
+	snd.OnAckProbe = func(ps *tcp.Sender, _ bool) {
+		if !*drop && !checked && ps.SndUna() >= 10*packet.MSS {
+			*drop = true
+		}
+	}
+	snd.OnTimeoutEvent = func(tcp.TimeoutKind) {
+		if checked {
+			return
+		}
+		checked = true
+		*drop = false // let the retransmissions through
+		// The RTO handler rewinds snd_nxt and then invokes cc.OnTimeout;
+		// inspect right after it completes. With the hook forwarded, the
+		// window anchor equals the rewound snd_una, so acknowledging one
+		// more MSS must complete an alpha fold. With the no-op hook the
+		// anchor is still the pre-timeout snd_nxt and no fold happens.
+		s.After(0, func() {
+			before := d2.Updates()
+			d2.OnAck(snd, packet.MSS, false)
+			if d2.Updates() != before+1 {
+				t.Errorf("no alpha fold after RTO rewind: updates %d -> %d (window anchor not re-anchored)",
+					before, d2.Updates())
+			}
+			s.Halt()
+		})
+	}
+
+	snd.Send(64 * packet.MSS)
+	s.RunUntil(sim.Time(5 * sim.Second))
+	if !checked {
+		t.Fatal("no RTO fired; the scenario never exercised the rewind")
+	}
+}
+
 // TestEnhancedD2TCP: the §VII composition — D2TCP wrapped with the DCTCP+
 // enhancement mechanism survives a 60-flow incast-style squeeze.
 func TestEnhancedD2TCP(t *testing.T) {

@@ -35,6 +35,7 @@ type DCTCP struct {
 	ackedBytes  int64
 	markedBytes int64
 	windowEnd   int64 // snd_nxt at the start of the current observation window
+	updates     int64 // completed alpha folds (the value itself may repeat)
 
 	// Telemetry instruments; nil (no-op) unless AttachTelemetry was called.
 	mAlphaUpdates *telemetry.Counter
@@ -60,6 +61,11 @@ func (d *DCTCP) Alpha() float64 { return d.alpha }
 
 // Gain returns the EWMA gain g.
 func (d *DCTCP) Gain() float64 { return d.g }
+
+// Updates returns the number of completed once-per-window alpha folds.
+// Consecutive folds can leave alpha numerically unchanged (F repeats), so
+// cadence observers must watch this counter, not the value.
+func (d *DCTCP) Updates() int64 { return d.updates }
 
 // AttachTelemetry registers the estimator's instruments on reg under the
 // given labels: counters for per-window alpha updates and ECN-driven window
@@ -88,6 +94,7 @@ func (d *DCTCP) OnAck(s *tcp.Sender, acked int64, ece bool) {
 		check.Unit("dctcp.alpha", d.alpha)
 		d.ackedBytes, d.markedBytes = 0, 0
 		d.windowEnd = s.SndNxt()
+		d.updates++
 		d.mAlphaUpdates.Add(1)
 		d.mAlpha.Set(d.alpha)
 	}

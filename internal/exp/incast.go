@@ -6,6 +6,8 @@ import (
 
 	"dctcpplus/internal/fault"
 	"dctcpplus/internal/netsim"
+	"dctcpplus/internal/oracle"
+	"dctcpplus/internal/packet"
 	"dctcpplus/internal/sim"
 	"dctcpplus/internal/stats"
 	"dctcpplus/internal/telemetry"
@@ -119,6 +121,27 @@ type IncastOptions struct {
 	// yields the same plan, applied at the same virtual times. FaultStats
 	// on the result reports what fired.
 	Faults *fault.GenConfig
+
+	// Oracle attaches the internal/oracle conformance checker to every
+	// connection and the whole topology: protocol violations (ACK
+	// monotonicity, retransmission legality, RTO backoff, ECE echo, alpha
+	// cadence, the DCTCP+ machine) and network violations (queue bounds,
+	// conservation) land on the result's OracleViolations. The checker is
+	// a pure observer chained onto existing hooks; a run's traffic is
+	// byte-identical with it on or off, but the run drains an extra 100ms
+	// of virtual time before the conservation audit.
+	Oracle bool
+
+	// FlowIDs relabels the workload's flow ids (see
+	// workload.IncastConfig.FlowIDs) — the knob behind the metamorphic
+	// permutation harness.
+	FlowIDs []packet.FlowID
+
+	// MirrorWorkers reverses the flow-to-worker placement order. The
+	// two-tier tree is leaf-symmetric, so on a clean run mirroring is a
+	// pure relabeling of identical subtrees and every result must be
+	// byte-identical — the topology-mirror metamorphic check.
+	MirrorWorkers bool
 }
 
 // RoundPoint is one round of an incast run, retained when KeepRounds is
@@ -199,6 +222,14 @@ type IncastResult struct {
 
 	// FaultStats totals the injected faults; nil unless Faults was set.
 	FaultStats *fault.Stats
+
+	// OracleViolations holds the conformance failures (bounded; see
+	// OracleTotal for the unbounded count). Nil unless Oracle was set;
+	// empty on a conforming run.
+	OracleViolations []oracle.Violation
+	// OracleTotal is the total violation count, including any beyond the
+	// retained list.
+	OracleTotal int64
 }
 
 // ConvergedAtRound returns the index of the first round after which no
@@ -240,6 +271,11 @@ func RunIncast(o IncastOptions) IncastResult {
 		o.MaxSimTime = 30 * 60 * sim.Second
 	}
 	sched, tt := o.Testbed.build()
+	if o.MirrorWorkers {
+		for i, j := 0, len(tt.Workers)-1; i < j; i, j = i+1, j-1 {
+			tt.Workers[i], tt.Workers[j] = tt.Workers[j], tt.Workers[i]
+		}
+	}
 	factory := o.Factory
 	if factory == nil {
 		factory = o.Protocol.Factory(o.RTOMin, o.Testbed.Seed)
@@ -261,7 +297,20 @@ func RunIncast(o IncastOptions) IncastResult {
 		ServiceJitter: o.Testbed.ServiceJitter,
 		Seed:          o.Testbed.Seed,
 		RequestRetry:  reqRetry,
+		FlowIDs:       o.FlowIDs,
 	})
+
+	// The conformance checker chains onto the endpoint and topology hooks
+	// before any traffic (and before the fault injector, though chained
+	// observers compose in either order).
+	var ck *oracle.Checker
+	if o.Oracle {
+		ck = oracle.NewChecker(sched)
+		for _, c := range in.Conns() {
+			ck.AttachConn(c)
+		}
+		ck.AttachTwoTier(tt)
+	}
 
 	labels := attachRunTelemetry(o.Telemetry, tt, in.Conns(), o.Protocol, o.Flows)
 	in.AttachTelemetry(o.Telemetry, labels...)
@@ -291,6 +340,14 @@ func RunIncast(o IncastOptions) IncastResult {
 	in.OnFinished = sched.Halt
 	in.Start()
 	sched.RunUntil(sim.Time(o.MaxSimTime))
+	drained := false
+	if o.Oracle && in.Finished() {
+		// Completion halts on the final ACK; duplicate retransmissions
+		// raced by the originals can still be in flight. Drain them so the
+		// conservation ledger balances.
+		sched.RunFor(100 * sim.Millisecond)
+		drained = true
+	}
 	finishRunTelemetry(o.Telemetry, sched.Now(), in.Conns())
 
 	res := IncastResult{
@@ -301,6 +358,10 @@ func RunIncast(o IncastOptions) IncastResult {
 	if inj != nil {
 		st := inj.Finish()
 		res.FaultStats = &st
+	}
+	if ck != nil {
+		res.OracleViolations = ck.Finish(drained)
+		res.OracleTotal = ck.Total()
 	}
 	if o.KeepRounds {
 		for _, r := range in.Results() {

@@ -40,6 +40,13 @@ type Host struct {
 	// OnUnclaimed, if set, observes packets for flows with no registered
 	// handler; otherwise they are silently dropped (like RST-less discard).
 	OnUnclaimed func(pkt *packet.Packet)
+	// OnDeliver, if set, observes every arriving packet before demux — data
+	// with its final (post-marking) ECN codepoint and returning ACKs alike,
+	// in the exact order the endpoint processes them, which is what lets the
+	// oracle conformance layer replay a host's ingress synchronously even
+	// under fault-induced reordering. The packet is recycled after demux;
+	// observers must copy fields out synchronously.
+	OnDeliver func(pkt *packet.Packet)
 }
 
 // NewHost creates a host. The uplink is attached by the topology builder
@@ -113,6 +120,9 @@ func (h *Host) Send(pkt *packet.Packet) {
 func (h *Host) Deliver(pkt *packet.Packet) {
 	h.delivered++
 	h.deliveredBytes += int64(pkt.Size())
+	if h.OnDeliver != nil {
+		h.OnDeliver(pkt)
+	}
 	if pkt.Flags.Has(packet.FlagREQ) {
 		if h.OnControl != nil {
 			h.OnControl(pkt)

@@ -1,0 +1,61 @@
+package oracle
+
+import (
+	"fmt"
+
+	"dctcpplus/internal/netsim"
+)
+
+// auditConservation balances the whole-network packet and byte ledger over
+// the attached two-tier testbed: every packet accepted into a host uplink
+// must end up delivered at some host, tail-dropped at a switch port, or
+// destroyed by a link fault (loss or blackhole). Packets rejected at
+// enqueue never enter the ledger (they are counted as drops, not enqueues),
+// and the books only balance on a drained network, so Finish gates this on
+// the caller's drained flag. A residual packet sitting in some queue is
+// itself reported: conservation on a drained network also means empty
+// queues everywhere.
+func (c *Checker) auditConservation(tt *netsim.TwoTier) {
+	now := c.sched.Now()
+	hosts := append([]*netsim.Host{tt.Aggregator}, tt.Workers...)
+	var allPorts []*netsim.Port
+	var injectedPkts, injectedBytes, deliveredPkts, deliveredBytes int64
+	for _, h := range hosts {
+		s := h.Uplink().Stats()
+		injectedPkts += s.EnqueuedPkts
+		injectedBytes += s.EnqueuedBytes
+		deliveredPkts += h.DeliveredPkts()
+		deliveredBytes += h.DeliveredBytes()
+		allPorts = append(allPorts, h.Uplink())
+	}
+	var droppedPkts, droppedBytes int64
+	for _, sw := range append([]*netsim.Switch{tt.Root}, tt.Leaves...) {
+		for _, p := range sw.Ports() {
+			s := p.Stats()
+			droppedPkts += s.DroppedPkts
+			droppedBytes += s.DroppedBytes
+			allPorts = append(allPorts, p)
+		}
+	}
+	var lostPkts, lostBytes int64
+	for _, p := range allPorts {
+		l := p.Link()
+		lostPkts += l.Lost() + l.Blackholed()
+		lostBytes += l.LostBytes() + l.BlackholedBytes()
+		if p.QueueLen() != 0 {
+			c.report("conservation", 0, now, fmt.Sprintf(
+				"port still holds %d packets (%d bytes) on a drained network", p.QueueLen(), p.QueueBytes()))
+		}
+	}
+
+	if injectedPkts != deliveredPkts+droppedPkts+lostPkts {
+		c.report("conservation", 0, now, fmt.Sprintf(
+			"packet ledger unbalanced: enqueued %d != delivered %d + dropped %d + destroyed %d",
+			injectedPkts, deliveredPkts, droppedPkts, lostPkts))
+	}
+	if injectedBytes != deliveredBytes+droppedBytes+lostBytes {
+		c.report("conservation", 0, now, fmt.Sprintf(
+			"byte ledger unbalanced: enqueued %d != delivered %d + dropped %d + destroyed %d",
+			injectedBytes, deliveredBytes, droppedBytes, lostBytes))
+	}
+}

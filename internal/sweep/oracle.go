@@ -1,0 +1,27 @@
+package sweep
+
+import "fmt"
+
+// OracleReport folds the conformance-oracle outcome of a completed sweep:
+// the total violation count across every result, plus one rendered block
+// per violating point — the point's identity, then its sampled violations
+// with their minimized event windows. Points run without the oracle (and
+// clean points) contribute nothing, so a (0, nil) return means the sweep
+// is oracle-clean.
+func OracleReport(results []Result) (total int64, lines []string) {
+	for _, r := range results {
+		if r.OracleViolations == 0 {
+			continue
+		}
+		total += r.OracleViolations
+		pt := r.Point
+		id := fmt.Sprintf("topo=%s proto=%s flows=%d rtomin=%v seed=%d",
+			pt.Topo, pt.Proto, pt.Flows, pt.RTOMin, pt.Seed)
+		if pt.Faults != "" {
+			id += fmt.Sprintf(" faults=%s faultseed=%d", pt.Faults, pt.FaultSeed)
+		}
+		lines = append(lines, fmt.Sprintf("%s: %d oracle violations", id, r.OracleViolations))
+		lines = append(lines, r.OracleSample...)
+	}
+	return total, lines
+}

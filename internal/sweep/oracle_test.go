@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"dctcpplus/internal/sim"
+)
+
+// TestOracleSweepEndToEnd: an Oracle-flagged spec runs every job under the
+// conformance checker, reports zero violations on a healthy tree, and keys
+// its cache entries distinctly from the plain run's.
+func TestOracleSweepEndToEnd(t *testing.T) {
+	spec := fastSpec("oracle")
+	spec.Flows = []int{4}
+	spec.Seeds = []uint64{1}
+	spec.Oracle = true
+	out, _ := runOutcome(t, spec, 2, "", false)
+	total, lines := OracleReport(out.Results)
+	if total != 0 || lines != nil {
+		t.Fatalf("healthy sweep reported %d violations:\n%s", total, strings.Join(lines, "\n"))
+	}
+	for _, r := range out.Results {
+		if !r.Point.Oracle {
+			t.Errorf("point %+v lost the Oracle flag", r.Point)
+		}
+	}
+	// Oracle participation is part of the point identity: the checked run
+	// drains extra virtual time, so caching it under the plain key would
+	// alias two different results.
+	pt := out.Results[0].Point
+	plain := pt
+	plain.Oracle = false
+	if pt.Key("v") == plain.Key("v") {
+		t.Fatal("oracle flag is not part of the cache key")
+	}
+	opts, err := pt.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts.Oracle {
+		t.Fatal("Point.Options drops the oracle flag")
+	}
+}
+
+// TestOracleReportRenders: the report names every violating point with its
+// identity and sample lines, and clean points stay out of it.
+func TestOracleReportRenders(t *testing.T) {
+	results := []Result{
+		{Point: Point{Topo: "default", Proto: "dctcp", Flows: 8,
+			RTOMin: 10 * sim.Millisecond, Seed: 1}},
+		{
+			Point: Point{Topo: "default", Proto: "dctcp+", Flows: 64,
+				RTOMin: 10 * sim.Millisecond, Seed: 2, Faults: "loss", FaultSeed: 7},
+			OracleViolations: 3,
+			OracleSample:     []string{"v1", "v2"},
+		},
+	}
+	total, lines := OracleReport(results)
+	if total != 3 {
+		t.Fatalf("total = %d, want 3", total)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{
+		"proto=dctcp+", "flows=64", "faults=loss", "faultseed=7",
+		"3 oracle violations", "v1", "v2",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q:\n%s", want, joined)
+		}
+	}
+	if strings.Contains(joined, "proto=dctcp ") {
+		t.Errorf("clean point leaked into the report:\n%s", joined)
+	}
+}

@@ -64,6 +64,7 @@ type Spec struct {
 	Jitter       sim.Duration // worker service jitter; 0 = 4ms
 	FaultSeed    uint64       // fault-plan generator seed; 0 = 1
 	MaxSimTime   sim.Duration // per-job virtual-time bound; 0 = 30 sim-minutes
+	Oracle       bool         // attach the conformance checker to every job
 }
 
 // normalized returns the spec with every empty dimension and zero scalar
@@ -215,6 +216,7 @@ func (s Spec) Expand() ([]Job, error) {
 								BytesPerFlow: n.BytesPerFlow,
 								Jitter:       n.Jitter,
 								MaxSimTime:   n.MaxSimTime,
+								Oracle:       n.Oracle,
 							}
 							jobs = append(jobs, Job{Index: len(jobs), Point: pt})
 						}
@@ -295,6 +297,10 @@ type Point struct {
 	BytesPerFlow int64        `json:"bytes_per_flow,omitempty"`
 	Jitter       sim.Duration `json:"jitter_ns"`
 	MaxSimTime   sim.Duration `json:"max_sim_ns"`
+	// Oracle runs the job under the conformance checker. It is part of the
+	// cache key: an oracle run drains extra virtual time, so its SimTime
+	// differs from the plain run's.
+	Oracle bool `json:"oracle,omitempty"`
 }
 
 // Job is one expanded grid point, positioned in the sweep's deterministic
@@ -371,6 +377,7 @@ func (pt Point) Options() (exp.IncastOptions, error) {
 		gen.Classes = classes
 		o.Faults = &gen
 	}
+	o.Oracle = pt.Oracle
 	return o, nil
 }
 
@@ -398,6 +405,12 @@ type Result struct {
 
 	// FaultsInjected counts fault events that fired (0 for clean points).
 	FaultsInjected int64 `json:"faults_injected,omitempty"`
+
+	// OracleViolations is the run's total conformance-violation count (0
+	// for clean runs and for points run without the oracle); OracleSample
+	// holds the first few rendered violations for diagnosis.
+	OracleViolations int64    `json:"oracle_violations,omitempty"`
+	OracleSample     []string `json:"oracle_sample,omitempty"`
 }
 
 // Incast re-expresses the result in the experiment package's row shape, so
@@ -422,6 +435,7 @@ func (r Result) Incast() (exp.IncastResult, error) {
 		LAckTO:           r.LAckTO,
 		BottleneckDrops:  r.BottleneckDrops,
 		SimTime:          r.SimTime,
+		OracleTotal:      r.OracleViolations,
 	}, nil
 }
 
@@ -442,6 +456,19 @@ func resultOf(pt Point, r exp.IncastResult) Result {
 	}
 	if r.FaultStats != nil {
 		res.FaultsInjected = r.FaultStats.EventsFired
+	}
+	res.OracleViolations = r.OracleTotal
+	for i, v := range r.OracleViolations {
+		if i >= 4 {
+			res.OracleSample = append(res.OracleSample,
+				fmt.Sprintf("... (%d more violations)", len(r.OracleViolations)-i))
+			break
+		}
+		s := v.String()
+		for _, w := range v.Window {
+			s += "\n\t" + w
+		}
+		res.OracleSample = append(res.OracleSample, s)
 	}
 	return res
 }

@@ -149,7 +149,7 @@ func TestCacheRoundTrip(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
 	}
-	if got != want {
+	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
 	}
 

@@ -20,8 +20,23 @@ type ReceiverStats struct {
 	CEMarskSeen   int64 // data segments arriving with CE set
 }
 
-// interval is a half-open byte range [lo, hi) in the reassembly buffer.
-type interval struct{ lo, hi int64 }
+// interval is a half-open byte range [lo, hi) in the reassembly buffer. ce
+// records the ECN state the bytes *first* arrived with: under DCTCP precise
+// echo the sender's marked-byte accounting is driven by which copy of the
+// data the receiver kept, so a retransmitted overlap never rewrites the
+// state of bytes already buffered.
+type interval struct {
+	lo, hi int64
+	ce     bool
+}
+
+// ackRun is one CE-uniform stretch of newly in-order bytes: when a hole
+// fill absorbs buffered intervals with mixed CE states, each run gets its
+// own cumulative ACK so the precise-echo accounting stays exact.
+type ackRun struct {
+	upTo int64
+	ce   bool
+}
 
 // Receiver is the receiving half of a connection: it reassembles the byte
 // stream, generates (delayed) cumulative ACKs, and implements the ECN echo
@@ -37,6 +52,9 @@ type Receiver struct {
 
 	rcvNxt int64
 	ooo    []interval // sorted, disjoint, all above rcvNxt
+	// ackRuns is the reused scratch for advanceTo's CE-uniform run
+	// decomposition (capacity tracks the high-water run count).
+	ackRuns []ackRun
 
 	// pendingSegs counts in-order segments not yet acknowledged; reaching
 	// DelAckCount triggers an ACK that resets it.
@@ -52,6 +70,11 @@ type Receiver struct {
 
 	// OnData observes each in-order delivery (n bytes).
 	OnData func(n int64)
+	// OnAckSent observes every ACK at the exact emission instant, before any
+	// host-queue or serialization delay — the receiver-side tap the oracle
+	// conformance layer replays ACK streams from. The packet is recycled
+	// after Send; observers must copy fields out synchronously.
+	OnAckSent func(pkt *packet.Packet)
 }
 
 // NewReceiver creates a receiver for flow on host, acknowledging toward
@@ -142,7 +165,7 @@ func (r *Receiver) Deliver(pkt *packet.Packet) {
 		// Out of order: buffer and send an immediate duplicate ACK — this
 		// is the dupACK stream that drives fast retransmit.
 		r.stats.OutOfOrder++
-		r.insertOOO(seq, end)
+		r.insertOOO(seq, end, ce)
 		r.stats.ImmediateAcks++
 		r.sendAck()
 	default:
@@ -150,14 +173,30 @@ func (r *Receiver) Deliver(pkt *packet.Packet) {
 		// buffered ranges this unblocks, deliver to the application.
 		hadHole := len(r.ooo) > 0
 		if end > r.rcvNxt {
-			advanced := r.advanceTo(end)
+			advanced := r.advanceTo(end, ce)
 			r.stats.DeliveredByte += advanced
 			if r.OnData != nil {
 				r.OnData(advanced)
 			}
 		}
 		if hadHole {
-			// Filled (part of) a hole: ACK immediately (RFC 5681).
+			// Filled (part of) a hole: ACK immediately (RFC 5681). Under
+			// precise echo the newly in-order range may interleave CE and
+			// non-CE bytes (the filling retransmission is typically unmarked
+			// while the buffered segments behind the hole were marked): a
+			// single cumulative ACK would attribute the whole range to one
+			// ECE bit and corrupt the sender's marked-byte fraction. Emit
+			// one cumulative ACK per CE-uniform run instead — the delayed-ACK
+			// aggregation rule of the DCTCP precise-echo state machine, one
+			// ACK per CE-state flip.
+			if r.cfg.ECN == ECNPrecise && len(r.ackRuns) > 1 {
+				for _, run := range r.ackRuns {
+					r.ceState = run.ce
+					r.stats.ImmediateAcks++
+					r.sendAckAt(run.upTo)
+				}
+				return
+			}
 			r.stats.ImmediateAcks++
 			r.sendAck()
 			return
@@ -175,16 +214,41 @@ func (r *Receiver) Deliver(pkt *packet.Packet) {
 
 // advanceTo moves rcvNxt to at least end, absorbing any buffered intervals
 // that become contiguous, and returns the number of newly delivered bytes.
-func (r *Receiver) advanceTo(end int64) int64 {
+// ce is the ECN state of the segment driving the advance; the bytes it
+// contributes directly (the gaps between absorbed intervals) carry it, while
+// absorbed intervals keep the state their bytes first arrived with. The
+// CE-uniform run decomposition of the advance is left in r.ackRuns for the
+// caller (adjacent same-state runs are merged, so len(ackRuns) > 1 iff the
+// advance genuinely mixes CE states).
+func (r *Receiver) advanceTo(end int64, ce bool) int64 {
 	old := r.rcvNxt
-	r.rcvNxt = end
+	r.ackRuns = r.ackRuns[:0]
+	pos := old
 	drop := 0
-	for drop < len(r.ooo) && r.ooo[drop].lo <= r.rcvNxt {
-		if r.ooo[drop].hi > r.rcvNxt {
-			r.rcvNxt = r.ooo[drop].hi
+	for {
+		if drop < len(r.ooo) && r.ooo[drop].lo <= pos {
+			// Contiguous buffered interval: absorb it with its own CE state.
+			if iv := r.ooo[drop]; iv.hi > pos {
+				r.pushRun(iv.hi, iv.ce)
+				pos = iv.hi
+			}
+			drop++
+			continue
 		}
-		drop++
+		if pos < end {
+			// Bytes supplied by the arriving segment itself, up to the next
+			// buffered interval (or end).
+			nxt := end
+			if drop < len(r.ooo) && r.ooo[drop].lo < nxt {
+				nxt = r.ooo[drop].lo
+			}
+			r.pushRun(nxt, ce)
+			pos = nxt
+			continue
+		}
+		break
 	}
+	r.rcvNxt = pos
 	if drop > 0 {
 		// Copy down instead of re-slicing the front off: the backing array
 		// keeps its high-water capacity, so reassembly churn never allocates
@@ -195,45 +259,71 @@ func (r *Receiver) advanceTo(end int64) int64 {
 	return r.rcvNxt - old
 }
 
-// insertOOO merges [lo, hi) into the sorted disjoint interval set, in
-// place: intervals overlapping or touching the new range collapse into one,
-// and the slice only grows (amortized) when a genuinely new hole appears.
-func (r *Receiver) insertOOO(lo, hi int64) {
-	n := len(r.ooo)
-	// [i, j) is the window of existing intervals that overlap or touch
-	// [lo, hi); everything before i lies strictly below, everything from j
-	// on strictly above.
+// pushRun extends the run decomposition to upTo, merging into the previous
+// run when the CE state is unchanged.
+func (r *Receiver) pushRun(upTo int64, ce bool) {
+	if n := len(r.ackRuns); n > 0 && r.ackRuns[n-1].ce == ce {
+		r.ackRuns[n-1].upTo = upTo
+		return
+	}
+	//lint:allow hotalloc run-scratch growth is amortized: capacity tracks the high-water run count and is then reused
+	r.ackRuns = append(r.ackRuns, ackRun{upTo, ce})
+}
+
+// insertOOO records [lo, hi) in the sorted disjoint interval set, in place.
+// First arrival wins: sub-ranges already buffered keep the CE state of the
+// copy the receiver kept, and only genuinely new bytes take the arriving
+// segment's state. Touching neighbors coalesce only when their CE states
+// match, so the set stays sorted, disjoint, and CE-uniform per interval.
+func (r *Receiver) insertOOO(lo, hi int64, ce bool) {
+	// Walk pos across [lo, hi), filling each uncovered gap with a new
+	// ce-state interval slotted in sorted position.
+	pos := lo
 	i := 0
-	for i < n && r.ooo[i].hi < lo {
-		i++
-	}
-	j := i
-	for j < n && r.ooo[j].lo <= hi {
-		if r.ooo[j].lo < lo {
-			lo = r.ooo[j].lo
+	for pos < hi {
+		if i < len(r.ooo) && r.ooo[i].lo <= pos {
+			// Existing interval covers (a prefix of) the remainder.
+			if r.ooo[i].hi > pos {
+				pos = r.ooo[i].hi
+			}
+			i++
+			continue
 		}
-		if r.ooo[j].hi > hi {
-			hi = r.ooo[j].hi
+		gapHi := hi
+		if i < len(r.ooo) && r.ooo[i].lo < gapHi {
+			gapHi = r.ooo[i].lo
 		}
-		j++
-	}
-	if i == j {
-		// Disjoint from everything: open a slot at i.
+		// Open a slot at i for the uncovered sub-range.
 		//lint:allow hotalloc reassembly-buffer growth is amortized: capacity tracks the high-water hole count and is then reused
 		r.ooo = append(r.ooo, interval{})
 		copy(r.ooo[i+1:], r.ooo[i:])
-		r.ooo[i] = interval{lo, hi}
-		return
+		r.ooo[i] = interval{pos, gapHi, ce}
+		i++
+		pos = gapHi
 	}
-	// Replace the window with the single merged interval and close the gap.
-	r.ooo[i] = interval{lo, hi}
-	copy(r.ooo[i+1:], r.ooo[j:])
-	r.ooo = r.ooo[:n-(j-i)+1]
+	// One compaction pass: merge touching neighbors with equal CE state.
+	w := 0
+	for k := 1; k < len(r.ooo); k++ {
+		if r.ooo[k].lo <= r.ooo[w].hi && r.ooo[k].ce == r.ooo[w].ce {
+			if r.ooo[k].hi > r.ooo[w].hi {
+				r.ooo[w].hi = r.ooo[k].hi
+			}
+			continue
+		}
+		w++
+		r.ooo[w] = r.ooo[k]
+	}
+	r.ooo = r.ooo[:w+1]
 }
 
-// sendAck emits a cumulative ACK reflecting the current ECN echo state and
-// clears any pending delayed-ACK obligation.
-func (r *Receiver) sendAck() {
+// sendAck emits a cumulative ACK for rcvNxt reflecting the current ECN echo
+// state and clears any pending delayed-ACK obligation.
+func (r *Receiver) sendAck() { r.sendAckAt(r.rcvNxt) }
+
+// sendAckAt emits a cumulative ACK acknowledging through ackNo (normally
+// rcvNxt; the run-splitting hole-fill path passes intermediate run
+// boundaries) reflecting the current ECN echo state.
+func (r *Receiver) sendAckAt(ackNo int64) {
 	flags := packet.FlagACK
 	switch r.cfg.ECN {
 	case ECNOff:
@@ -257,8 +347,11 @@ func (r *Receiver) sendAck() {
 	pkt := r.host.AllocPacket()
 	pkt.Dst = r.peer
 	pkt.Flow = r.flow
-	pkt.AckNo = r.rcvNxt
+	pkt.AckNo = ackNo
 	pkt.Flags = flags
 	pkt.SendTime = r.sched.Now()
+	if r.OnAckSent != nil {
+		r.OnAckSent(pkt)
+	}
 	r.host.Send(pkt)
 }

@@ -191,18 +191,23 @@ func TestClassicEchoLatchUntilCWR(t *testing.T) {
 	}
 }
 
-// Property: insertOOO always yields sorted, disjoint, non-touching-overlap
-// intervals covering exactly the union of inserted ranges.
+// Property: insertOOO always yields sorted, disjoint intervals covering
+// exactly the union of inserted ranges, and every byte carries the CE state
+// of its *first* arrival (first-arrival-wins; adjacent intervals only merge
+// when their CE states match).
 func TestInsertOOOProperty(t *testing.T) {
 	f := func(pairs []uint8) bool {
 		r := &Receiver{}
-		covered := map[int64]bool{}
+		covered := map[int64]bool{} // byte -> first-arrival CE state
 		for i := 0; i+1 < len(pairs); i += 2 {
 			lo := int64(pairs[i] % 64)
 			ln := int64(pairs[i+1]%16) + 1
-			r.insertOOO(lo, lo+ln)
+			ce := pairs[i]&0x80 != 0
+			r.insertOOO(lo, lo+ln, ce)
 			for b := lo; b < lo+ln; b++ {
-				covered[b] = true
+				if _, ok := covered[b]; !ok {
+					covered[b] = ce
+				}
 			}
 		}
 		// Disjoint and sorted.
@@ -214,11 +219,14 @@ func TestInsertOOOProperty(t *testing.T) {
 				return false
 			}
 		}
-		// Union matches.
+		// Union and per-byte CE states match.
 		var got []int64
 		for _, iv := range r.ooo {
 			for b := iv.lo; b < iv.hi; b++ {
 				got = append(got, b)
+				if want, ok := covered[b]; !ok || iv.ce != want {
+					return false
+				}
 			}
 		}
 		if len(got) != len(covered) {
@@ -226,7 +234,7 @@ func TestInsertOOOProperty(t *testing.T) {
 		}
 		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
 		for _, b := range got {
-			if !covered[b] {
+			if _, ok := covered[b]; !ok {
 				return false
 			}
 		}
@@ -239,18 +247,108 @@ func TestInsertOOOProperty(t *testing.T) {
 
 func TestAdvanceToAbsorbsBufferedIntervals(t *testing.T) {
 	r := &Receiver{}
-	r.insertOOO(10, 20)
-	r.insertOOO(20, 30) // merges with previous
-	r.insertOOO(50, 60)
+	r.insertOOO(10, 20, false)
+	r.insertOOO(20, 30, false) // merges with previous
+	r.insertOOO(50, 60, false)
 	if len(r.ooo) != 2 {
 		t.Fatalf("ooo = %+v, want 2 merged intervals", r.ooo)
 	}
-	n := r.advanceTo(10) // contiguous with [10,30): should jump to 30
+	n := r.advanceTo(10, false) // contiguous with [10,30): should jump to 30
 	if r.rcvNxt != 30 || n != 30 {
 		t.Errorf("rcvNxt = %d (advanced %d), want 30", r.rcvNxt, n)
 	}
 	if len(r.ooo) != 1 || r.ooo[0].lo != 50 {
 		t.Errorf("remaining ooo = %+v", r.ooo)
+	}
+}
+
+func TestAdvanceToBuildsCEUniformRuns(t *testing.T) {
+	r := &Receiver{}
+	r.insertOOO(10, 20, true)  // CE-marked bytes buffered behind the hole
+	r.insertOOO(20, 30, false) // distinct CE state: must NOT merge
+	if len(r.ooo) != 2 {
+		t.Fatalf("ooo = %+v, want 2 CE-distinct intervals", r.ooo)
+	}
+	// Unmarked retransmission [0,10) fills the hole: runs must be
+	// [0,10) ce=0, [10,20) ce=1, [20,30) ce=0.
+	n := r.advanceTo(10, false)
+	if r.rcvNxt != 30 || n != 30 {
+		t.Fatalf("rcvNxt = %d (advanced %d), want 30", r.rcvNxt, n)
+	}
+	want := []ackRun{{10, false}, {20, true}, {30, false}}
+	if len(r.ackRuns) != len(want) {
+		t.Fatalf("ackRuns = %+v, want %+v", r.ackRuns, want)
+	}
+	for i := range want {
+		if r.ackRuns[i] != want[i] {
+			t.Errorf("ackRuns[%d] = %+v, want %+v", i, r.ackRuns[i], want[i])
+		}
+	}
+}
+
+// Regression (ISSUE 9 satellite 1): before the fix, a hole fill that made a
+// mixed CE/non-CE range in-order sent ONE cumulative ACK whose ECE bit came
+// from the flip machine's last-segment state, silently attributing every
+// byte of the range to that one state. Under DCTCP precise echo this
+// corrupts the sender's marked-byte fraction (α). The precise-echo machine
+// requires one ACK per CE-state flip, so the fill must emit one cumulative
+// ACK per CE-uniform run.
+func TestPreciseEchoHoleFillSplitsMixedCERuns(t *testing.T) {
+	s := sim.NewScheduler()
+	type ackRec struct {
+		ackNo int64
+		ece   bool
+	}
+	var acks []ackRec
+	hostA := newCaptureHost(s, 1, func(p *packet.Packet) {
+		if p.Flags.Has(packet.FlagACK) {
+			acks = append(acks, ackRec{p.AckNo, p.Flags.Has(packet.FlagECE)})
+		}
+	})
+	hostB := newLoopHost(s, 2, hostA)
+
+	cfg := DefaultConfig()
+	cfg.ECN = ECNPrecise
+	cfg.DelAckCount = 1
+	r := NewReceiver(cfg, hostB.Host, 1, 5)
+
+	seg := func(i int, ce bool) *packet.Packet {
+		e := packet.ECT
+		if ce {
+			e = packet.CE
+		}
+		return &packet.Packet{Dst: 2, Flow: 5, Seq: int64(i * packet.MSS), Payload: packet.MSS, ECN: e}
+	}
+	r.Deliver(seg(0, false)) // in-order, unmarked -> ACK(1 MSS, ECE=0)
+	r.Deliver(seg(2, true))  // OOO, CE-marked   -> dup ACK(1 MSS, ECE=1)
+	r.Deliver(seg(3, true))  // OOO, CE-marked   -> dup ACK(1 MSS, ECE=1)
+	r.Deliver(seg(1, false)) // unmarked retransmission fills the hole
+	s.Run()
+	// The fill makes [MSS, 4 MSS) in-order: [MSS, 2 MSS) unmarked plus
+	// [2 MSS, 4 MSS) CE-marked. One ACK per CE-uniform run:
+	//   ACK(2 MSS, ECE=0) then ACK(4 MSS, ECE=1).
+	// The buggy receiver emitted a single ACK(4 MSS) instead, so 2 MSS of
+	// marked bytes inherited whatever the flip machine last latched.
+	want := []ackRec{
+		{1 * packet.MSS, false},
+		{1 * packet.MSS, true},
+		{1 * packet.MSS, true},
+		{2 * packet.MSS, false},
+		{4 * packet.MSS, true},
+	}
+	if len(acks) != len(want) {
+		t.Fatalf("acks = %+v, want %+v", acks, want)
+	}
+	for i := range want {
+		if acks[i] != want[i] {
+			t.Errorf("ack[%d] = %+v, want %+v", i, acks[i], want[i])
+		}
+	}
+	if !r.ceState {
+		t.Error("ceState must end true (last run was CE-marked)")
+	}
+	if r.RcvNxt() != 4*packet.MSS {
+		t.Errorf("rcvNxt = %d", r.RcvNxt())
 	}
 }
 

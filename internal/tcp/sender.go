@@ -248,6 +248,11 @@ func (s *Sender) RTO() sim.Duration {
 	return rto
 }
 
+// RTOBackoff returns the current RTO backoff exponent (rto << backoff):
+// zero in normal operation, incremented by each RTO, cleared only by an RTT
+// sample from a non-retransmitted segment (Karn).
+func (s *Sender) RTOBackoff() uint { return s.rtoBackoff }
+
 // Flow returns the flow id.
 func (s *Sender) Flow() packet.FlowID { return s.flow }
 
@@ -465,11 +470,18 @@ func (s *Sender) Deliver(pkt *packet.Packet) {
 		if s.sndNxt < s.sndUna {
 			s.sndNxt = s.sndUna
 		}
+		// RFC 6298 §5.5-5.7 / Karn: the exponential backoff is cleared only
+		// by an RTT sample from a segment transmitted exactly once. A
+		// cumulative ACK covering nothing but retransmitted data (the
+		// go-back-N repair traffic after an RTO) says nothing about the
+		// current path RTT, so it must leave the backoff in place. The timed
+		// segment is Karn-invalidated on retransmission, which makes
+		// "timedValid && ackNo >= timedSeq" exactly the legal-reset condition.
 		if s.timedValid && ackNo >= s.timedSeq {
 			s.rtt.Sample(now.Sub(s.timedAt))
 			s.timedValid = false
+			s.rtoBackoff = 0
 		}
-		s.rtoBackoff = 0
 	case ackNo == s.sndUna && s.InflightBytes() > 0 && pkt.IsAck():
 		s.dupacks++
 		s.stats.DupAcks++

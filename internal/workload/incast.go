@@ -49,6 +49,13 @@ type IncastConfig struct {
 	// Seed drives the service-jitter/service-time streams.
 	Seed uint64
 
+	// FlowIDs, when non-nil, assigns flow i the i-th id instead of the
+	// default FlowID(i+1). Relabeling changes nothing observable — flow
+	// ids are opaque demux keys — which is exactly what the metamorphic
+	// permutation harness in internal/exp verifies. Must have length
+	// Flows; ids must be nonzero and unique.
+	FlowIDs []packet.FlowID
+
 	// RequestRetry re-issues a round's request to every worker that has
 	// sent nothing back after this interval, repeating until the first
 	// response byte arrives. Requests are raw control packets with no
@@ -71,7 +78,17 @@ func (c IncastConfig) validate() {
 		panic("workload: Rounds must be positive")
 	case c.Factory == nil:
 		panic("workload: nil FlowFactory")
+	case len(c.FlowIDs) > 0 && len(c.FlowIDs) != c.Flows:
+		panic("workload: FlowIDs length must equal Flows")
 	}
+}
+
+// flowID returns the id of flow index i.
+func (c IncastConfig) flowID(i int) packet.FlowID {
+	if len(c.FlowIDs) > 0 {
+		return c.FlowIDs[i]
+	}
+	return packet.FlowID(i + 1)
 }
 
 // FlowRound captures one flow's per-round event flags, the unit of the
@@ -115,6 +132,9 @@ type Incast struct {
 	cpuFree map[packet.NodeID]sim.Time
 	// workerOf maps a flow to its worker host for service accounting.
 	workerOf map[packet.FlowID]packet.NodeID
+	// flowIdx maps a flow id back to its index (the inverse of
+	// IncastConfig.flowID), for request demux under relabeled ids.
+	flowIdx map[packet.FlowID]int
 
 	round      int64
 	roundStart sim.Time
@@ -154,6 +174,7 @@ func NewIncast(sched *sim.Scheduler, tt *netsim.TwoTier, cfg IncastConfig) *Inca
 		rng:         sim.NewRNG(cfg.Seed ^ 0x1ca5717e),
 		cpuFree:     make(map[packet.NodeID]sim.Time),
 		workerOf:    make(map[packet.FlowID]packet.NodeID),
+		flowIdx:     make(map[packet.FlowID]int, cfg.Flows),
 	}
 	for i := range in.servedRound {
 		in.servedRound[i] = -1
@@ -162,12 +183,13 @@ func NewIncast(sched *sim.Scheduler, tt *netsim.TwoTier, cfg IncastConfig) *Inca
 		i := i
 		w := tt.Workers[i%len(tt.Workers)]
 		tcfg, cc := cfg.Factory(i)
-		flow := packet.FlowID(i + 1)
+		flow := cfg.flowID(i)
 		conn := tcp.NewConn(tcfg, cc, w, tt.Aggregator, flow)
 		conn.Receiver.OnData = func(n int64) { in.onData(i, n) }
 		in.conns = append(in.conns, conn)
 		in.senders[flow] = conn.Sender
 		in.workerOf[flow] = w.ID()
+		in.flowIdx[flow] = i
 	}
 	// All workers dispatch arriving requests to the matching flow sender.
 	for _, w := range tt.Workers {
@@ -226,7 +248,7 @@ func (in *Incast) startRound() {
 func (in *Incast) sendRequest(i int) {
 	in.tt.Aggregator.Send(&packet.Packet{
 		Dst:      in.conns[i].Receiver.Peer(),
-		Flow:     packet.FlowID(i + 1),
+		Flow:     in.cfg.flowID(i),
 		Seq:      in.round,
 		Flags:    packet.FlagREQ,
 		ReqBytes: in.cfg.BytesPerFlow,
@@ -262,7 +284,7 @@ func (in *Incast) onRequest(pkt *packet.Packet) {
 	if !ok {
 		panic(fmt.Sprintf("workload: request for unknown flow %d", pkt.Flow))
 	}
-	i := int(pkt.Flow) - 1
+	i := in.flowIdx[pkt.Flow]
 	if int(pkt.Seq) <= in.servedRound[i] {
 		return // duplicate of a request already being served
 	}
