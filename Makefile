@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fmt-check lint lint-fix-check check bench alloc-check fault-smoke sweep-smoke oracle-smoke baseline clean
+.PHONY: all build vet test race fmt-check lint lint-fix-check typestate-smoke check bench alloc-check fault-smoke sweep-smoke oracle-smoke baseline clean
 
 all: check
 
@@ -30,18 +30,31 @@ fmt-check:
 # enforces determinism (no wall clock, no math/rand, no order-sensitive map
 # iteration, no goroutines in sim-scheduled code), sim-time and unit
 # discipline (name-based and flow-sensitive), sweep worker-race and
-# cache-key completeness, the telemetry nil-safety contract, and the
+# cache-key completeness, the telemetry nil-safety contract, the
 # //inv: interval contracts (range proofs, narrow-counter overflow,
-# static<->runtime check coverage). Stdlib-only.
+# static<->runtime check coverage), and the //state: typestate contracts
+# (pooled-packet exactly-once free, scheduler handle lifecycles, ownership
+# transfer). -stale-allow also fails the build on //lint:allow directives
+# that no longer suppress anything. Stdlib-only.
 lint:
-	$(GO) run ./cmd/simlint ./...
+	$(GO) run ./cmd/simlint -stale-allow ./...
 
 # Autofix regression gate: apply simlint -fix to the before/after fixtures
 # and require byte-identical golden output plus an idempotent second pass.
 lint-fix-check:
 	$(GO) test -run 'TestFixGoldens|TestApplyEdits|TestRunFix' ./internal/lint ./cmd/simlint
 
-check: build vet fmt-check lint lint-fix-check race fault-smoke sweep-smoke oracle-smoke
+# Typestate smoke: the engine's join/widening unit tests and the three
+# lifecycle-analyzer fixtures (poollife, handlestate, ownxfer, plus the
+# clean Port->Link->Host hand-off), then the packet pool's checkdebug
+# poison tests — the runtime tripwire behind the static exactly-once-free
+# proof — in both build-tag modes.
+typestate-smoke:
+	$(GO) test -run 'JoinEnv|MergeAtJoin|LoopWidening|Fixtures/(poollife|handlestate|ownxfer|ownclean)' ./internal/lint
+	$(GO) test -tags checkdebug ./internal/packet
+	$(GO) test ./internal/packet
+
+check: build vet fmt-check lint lint-fix-check typestate-smoke race fault-smoke sweep-smoke oracle-smoke
 
 # Fault-injection smoke: a full-mix faulted sweep must complete, stay
 # deterministic, conserve every packet/byte, and keep DCTCP+ no worse than

@@ -11,6 +11,7 @@
 //	simlint -sarif ./...     # SARIF 2.1.0 log for CI code scanning
 //	simlint -fix ./...       # apply suggested fixes, then re-lint
 //	simlint -changed main    # report only packages that differ from a git ref
+//	simlint -stale-allow     # also report //lint:allow directives that suppress nothing
 //	simlint -list            # print the analyzer suite and exit
 //	simlint -version         # print the sweep-cache code-version string
 //
@@ -25,11 +26,22 @@
 // `git diff --name-only <ref>` plus untracked files. Outside a git work
 // tree, or with an unresolvable ref, the run fails with status 2.
 //
+// -stale-allow turns the allowlist audit on: every well-formed
+// //lint:allow directive that suppressed no diagnostic in the run is
+// reported as a "staleallow" finding and counts toward the exit status,
+// so justified exemptions are deleted when the code they excused goes
+// away. make lint runs with this flag.
+//
 // -fix applies every suggested fix attached to a surviving diagnostic
 // (simtime's int64→sim.Duration rewrite, floateq's epsilon comparison),
 // writes the files, and re-runs the analysis from the rewritten sources;
 // the exit status reflects the residual diagnostics, so a fully fixable
-// tree converges to 0 in one invocation and -fix is idempotent.
+// tree converges to 0 in one invocation and -fix is idempotent. When fixes
+// from two different analyzers rewrite overlapping byte ranges of one
+// file, -fix refuses the whole file with a diagnostic naming both
+// analyzers and writes nothing — each rewrite was computed against the
+// original source, and composing them would produce code neither analyzer
+// checked.
 //
 // Exit status is a contract, relied on by make check and CI:
 //
@@ -76,6 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fix      = fs.Bool("fix", false, "apply suggested fixes, then re-run the analysis")
 		list     = fs.Bool("list", false, "list the analyzer suite and exit")
 		version  = fs.Bool("version", false, "print the sweep-cache code-version string and exit")
+		stale    = fs.Bool("stale-allow", false, "also report //lint:allow directives that no longer suppress any diagnostic")
 		changed  = fs.String("changed", "", "report only packages containing files that differ from this git ref")
 		dir      = fs.String("C", "", "change to this directory before resolving patterns")
 	)
@@ -113,7 +126,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		root = cwd
 	}
 
-	diags, moduleRoot, status := analyze(root, patterns, analyzers, stderr)
+	diags, moduleRoot, status := analyze(root, patterns, analyzers, *stale, stderr)
 	if status != 0 {
 		return status
 	}
@@ -140,7 +153,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if n > 0 {
 			// Re-analyze from the rewritten sources so the report and the
 			// exit status describe the tree as it now stands.
-			diags, moduleRoot, status = analyze(root, patterns, analyzers, stderr)
+			diags, moduleRoot, status = analyze(root, patterns, analyzers, *stale, stderr)
 			if status != 0 {
 				return status
 			}
@@ -193,7 +206,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // analyze loads the patterns with a fresh loader and runs the suite,
 // returning the diagnostics (with absolute paths), the module root, and a
 // non-zero exit status on load failure.
-func analyze(root string, patterns []string, analyzers []*lint.Analyzer, stderr io.Writer) ([]lint.Diagnostic, string, int) {
+func analyze(root string, patterns []string, analyzers []*lint.Analyzer, stale bool, stderr io.Writer) ([]lint.Diagnostic, string, int) {
 	loader, err := lint.NewLoader(root)
 	if err != nil {
 		fmt.Fprintln(stderr, "simlint:", err)
@@ -204,7 +217,11 @@ func analyze(root string, patterns []string, analyzers []*lint.Analyzer, stderr 
 		fmt.Fprintln(stderr, "simlint:", err)
 		return nil, "", 2
 	}
-	return lint.Run(pkgs, analyzers), loader.ModuleRoot(), 0
+	run := lint.Run
+	if stale {
+		run = lint.RunStale
+	}
+	return run(pkgs, analyzers), loader.ModuleRoot(), 0
 }
 
 // changedDirs asks git which module-relative directories contain files

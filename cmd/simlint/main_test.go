@@ -70,6 +70,18 @@ func TestRunExitContract(t *testing.T) {
 			wantStatus: 0,
 			wantOut:    "hotalloc",
 		},
+		{
+			name:       "stale directive is ignored by the default run",
+			args:       []string{"-C", root, "internal/lint/testdata/src/staleallow"},
+			wantStatus: 0,
+		},
+		{
+			name:       "-stale-allow reports the rotted directive and exits 1",
+			args:       []string{"-stale-allow", "-C", root, "internal/lint/testdata/src/staleallow"},
+			wantStatus: 1,
+			wantOut:    "staleallow: stale //lint:allow floateq directive",
+			wantErr:    "diagnostic(s)",
+		},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

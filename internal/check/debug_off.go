@@ -1,0 +1,8 @@
+//go:build !checkdebug
+
+package check
+
+// Debug reports whether the checkdebug build tag is active; see
+// debug_on.go for what debug builds add. In normal builds every debug
+// backstop compiles away.
+const Debug = false

@@ -1,0 +1,13 @@
+//go:build checkdebug
+
+package check
+
+// Debug reports whether the checkdebug build tag is active. Debug builds
+// add runtime backstops that mirror simlint's static lifecycle rules —
+// notably the packet-pool poison pattern (internal/packet): recycled
+// packets get their sequence number scrambled to a sentinel, a second
+// Pool.Put of the same packet panics with the offending flow, and Pool.Get
+// un-poisons before reuse. The backstops cost branches on the hot path, so
+// they are compiled out of normal builds; `make typestate-smoke` runs the
+// packet tests with the tag on.
+const Debug = true

@@ -66,6 +66,13 @@ type Program struct {
 	contractTable     *contractTable
 	intervalSummaries map[*types.Func][]ival
 	intervalResults   map[*Package]*intervalAnalysis
+
+	// stateTable caches the parsed //state: protocols and function
+	// contracts (typestate.go); typestateResults caches the per-package
+	// typestate interpreter run shared by the poollife, handlestate and
+	// ownxfer analyzers. Same lifecycle as the interval caches above.
+	stateTable       *stateTable
+	typestateResults map[*Package]*typestateAnalysis
 }
 
 // funcNode is one declared function in the call graph.
@@ -170,6 +177,8 @@ func (prog *Program) build() {
 	prog.contractTable = nil
 	prog.intervalSummaries = nil
 	prog.intervalResults = nil
+	prog.stateTable = nil
+	prog.typestateResults = nil
 
 	// Pass 1: one node per declared function with a body.
 	for _, p := range prog.pkgs {

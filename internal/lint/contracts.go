@@ -332,6 +332,21 @@ type contractTable struct {
 
 const invPrefix = "//inv:"
 
+// invPayload returns the text after the //inv: marker, accepting both the
+// raw spelling and the "// inv:" form gofmt's doc-comment printer produces
+// (the colon is followed by a space, so the line is not a compiler
+// directive and formatting inserts the space). A contract must not stop
+// binding because the file was formatted.
+func invPayload(c *ast.Comment) (string, bool) {
+	if rest, ok := strings.CutPrefix(c.Text, invPrefix); ok {
+		return rest, true
+	}
+	if rest, ok := strings.CutPrefix(c.Text, "// inv:"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
 // invLines extracts the //inv: payloads of a comment group in order.
 func invLines(groups ...*ast.CommentGroup) []string {
 	var out []string
@@ -340,7 +355,7 @@ func invLines(groups ...*ast.CommentGroup) []string {
 			continue
 		}
 		for _, c := range g.List {
-			if rest, ok := strings.CutPrefix(c.Text, invPrefix); ok {
+			if rest, ok := invPayload(c); ok {
 				out = append(out, strings.TrimSpace(rest))
 			}
 		}
@@ -356,7 +371,7 @@ func invPos(groups ...*ast.CommentGroup) token.Pos {
 			continue
 		}
 		for _, c := range g.List {
-			if strings.HasPrefix(c.Text, invPrefix) {
+			if _, ok := invPayload(c); ok {
 				return c.Pos()
 			}
 		}

@@ -35,14 +35,20 @@ type SuggestedFix struct {
 // both rewrite the shared type expression, or two fixes inserting the same
 // import — collapse to one; genuinely conflicting edits are an error, and
 // nothing is written to disk by this function.
+//
+// Conflicts between fixes of *different* analyzers get their own refusal:
+// each analyzer's rewrite is correct only against the source it inspected,
+// so composing two overlapping rewrites could produce code neither analyzer
+// would bless. The error names both analyzers so the operator can re-run
+// -fix with one of them (or apply one fix by hand) and lint again.
 func ApplyFixes(diags []Diagnostic) (map[string][]byte, error) {
-	perFile := make(map[string][]TextEdit)
+	perFile := make(map[string][]ownedEdit)
 	for _, d := range diags {
 		if d.Fix == nil {
 			continue
 		}
 		for _, e := range d.Fix.Edits {
-			perFile[e.File] = append(perFile[e.File], e)
+			perFile[e.File] = append(perFile[e.File], ownedEdit{edit: e, analyzer: d.Analyzer})
 		}
 	}
 	files := make([]string, 0, len(perFile))
@@ -52,17 +58,71 @@ func ApplyFixes(diags []Diagnostic) (map[string][]byte, error) {
 	sort.Strings(files) // deterministic application (and error) order
 	out := make(map[string][]byte)
 	for _, file := range files {
+		owned := perFile[file]
+		if err := checkCrossAnalyzer(owned); err != nil {
+			return nil, fmt.Errorf("%s: %w", file, err)
+		}
+		edits := make([]TextEdit, len(owned))
+		for i, oe := range owned {
+			edits[i] = oe.edit
+		}
 		src, err := os.ReadFile(file)
 		if err != nil {
 			return nil, err
 		}
-		fixed, err := applyEdits(src, perFile[file])
+		fixed, err := applyEdits(src, edits)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", file, err)
 		}
 		out[file] = fixed
 	}
 	return out, nil
+}
+
+// ownedEdit is a TextEdit tagged with the analyzer whose fix proposed it,
+// so cross-analyzer conflicts can name both parties.
+type ownedEdit struct {
+	edit     TextEdit
+	analyzer string
+}
+
+// checkCrossAnalyzer refuses edit sets in which fixes from two different
+// analyzers touch overlapping byte ranges of one file. Identical edits
+// (same range, same replacement) are fine whoever proposed them — they
+// collapse to one application — but distinct overlapping rewrites from
+// different analyzers are never composed: each was computed against the
+// original source, and stacking them yields text neither analyzer checked.
+// Same-analyzer conflicts fall through to applyEdits' generic refusal.
+func checkCrossAnalyzer(owned []ownedEdit) error {
+	sorted := make([]ownedEdit, len(owned))
+	copy(sorted, owned)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i].edit, sorted[j].edit
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		return a.NewText < b.NewText
+	})
+	for i := 1; i < len(sorted); i++ {
+		prev, cur := sorted[i-1], sorted[i]
+		if prev.analyzer == cur.analyzer {
+			continue
+		}
+		if prev.edit == cur.edit {
+			continue // identical edit: collapses to one, no conflict
+		}
+		samePoint := prev.edit.Start == cur.edit.Start && prev.edit.End == cur.edit.End
+		if prev.edit.End > cur.edit.Start || samePoint {
+			return fmt.Errorf(
+				"fixes from analyzers %q and %q overlap (offsets [%d,%d) and [%d,%d)); refusing to apply either — run simlint -fix restricted to one analyzer, or apply one fix by hand and lint again",
+				prev.analyzer, cur.analyzer,
+				prev.edit.Start, prev.edit.End, cur.edit.Start, cur.edit.End)
+		}
+	}
+	return nil
 }
 
 // applyEdits sorts, dedupes, overlap-checks and applies edits to src.

@@ -3,6 +3,7 @@ package lint
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -104,6 +105,103 @@ func TestFixGoldens(t *testing.T) {
 				if d.Fix != nil {
 					t.Errorf("fixable diagnostic survives the fix: %s", d)
 				}
+			}
+		})
+	}
+}
+
+// TestApplyFixesCrossAnalyzerConflict pins the refusal contract for fixes
+// that overlap across analyzers: the error names both analyzers, identical
+// edits from different analyzers still collapse, disjoint cross-analyzer
+// fixes compose, and same-analyzer overlaps keep the generic refusal.
+func TestApplyFixesCrossAnalyzerConflict(t *testing.T) {
+	target := filepath.Join(t.TempDir(), "input.go")
+	if err := os.WriteFile(target, []byte("abcdefghij"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(analyzer string, edits ...TextEdit) Diagnostic {
+		for i := range edits {
+			edits[i].File = target
+		}
+		return Diagnostic{
+			File: target, Line: 1, Col: 1, Analyzer: analyzer,
+			Message: "fixture finding",
+			Fix:     &SuggestedFix{Message: "fixture fix", Edits: edits},
+		}
+	}
+	tests := []struct {
+		name      string
+		diags     []Diagnostic
+		want      string // fixed file contents; "" when an error is expected
+		errHas    []string
+		errNotHas []string
+	}{
+		{
+			name: "overlap across analyzers names both",
+			diags: []Diagnostic{
+				mk("durationfix", TextEdit{Start: 1, End: 4, NewText: "X"}),
+				mk("floateq", TextEdit{Start: 2, End: 5, NewText: "Y"}),
+			},
+			errHas: []string{`"durationfix"`, `"floateq"`, "refusing to apply either"},
+		},
+		{
+			name: "same range different rewrites across analyzers",
+			diags: []Diagnostic{
+				mk("durationfix", TextEdit{Start: 1, End: 4, NewText: "X"}),
+				mk("floateq", TextEdit{Start: 1, End: 4, NewText: "Y"}),
+			},
+			errHas: []string{`"durationfix"`, `"floateq"`},
+		},
+		{
+			name: "identical edits across analyzers collapse",
+			diags: []Diagnostic{
+				mk("durationfix", TextEdit{Start: 1, End: 4, NewText: "X"}),
+				mk("floateq", TextEdit{Start: 1, End: 4, NewText: "X"}),
+			},
+			want: "aXefghij",
+		},
+		{
+			name: "disjoint edits across analyzers compose",
+			diags: []Diagnostic{
+				mk("durationfix", TextEdit{Start: 1, End: 3, NewText: "X"}),
+				mk("floateq", TextEdit{Start: 5, End: 7, NewText: "Y"}),
+			},
+			want: "aXdeYhij",
+		},
+		{
+			name: "same-analyzer overlap keeps the generic refusal",
+			diags: []Diagnostic{
+				mk("floateq", TextEdit{Start: 1, End: 4, NewText: "X"}),
+				mk("floateq", TextEdit{Start: 2, End: 5, NewText: "Y"}),
+			},
+			errHas:    []string{"conflicting edits"},
+			errNotHas: []string{"analyzers"},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			fixed, err := ApplyFixes(tc.diags)
+			if len(tc.errHas) > 0 {
+				if err == nil {
+					t.Fatal("conflict not rejected")
+				}
+				for _, want := range tc.errHas {
+					if !strings.Contains(err.Error(), want) {
+						t.Errorf("error %q missing %q", err, want)
+					}
+				}
+				for _, ban := range tc.errNotHas {
+					if strings.Contains(err.Error(), ban) {
+						t.Errorf("error %q should not mention %q", err, ban)
+					}
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := string(fixed[target]); got != tc.want {
+				t.Errorf("fixed = %q, want %q", got, tc.want)
 			}
 		})
 	}

@@ -1,0 +1,30 @@
+package lint
+
+// HandleState proves the scheduler-handle lifecycle declared by //state:
+// handle protocols (sim.Event: armed -> dead; sim.Timer: disarmed <->
+// armed). A recycled handle must never be touched after it may have
+// fired: the freelist reuses the struct, so a stale Cancel would cancel
+// somebody else's event. On top of the shared typestate interpreter
+// (typestate.go) it reports:
+//
+//   - Cancel (or any //state: kill) on a possibly-dead handle,
+//   - reads of a handle variable on a path where it already fired or was
+//     cancelled,
+//   - //state: move misuse: calling a transition such as Timer.Reset or
+//     Timer.Stop when the receiver may be outside the transition's
+//     declared source states,
+//   - overwriting a handle variable while it may still be armed (the old
+//     handle becomes uncancellable),
+//   - the clear-field-first rule from internal/sim/scheduler.go: when a
+//     struct field of handle type is armed with a callback, the resolved
+//     callback body must set that field to nil as its very first
+//     statement, before any re-arm or cancel.
+func HandleState() *Analyzer {
+	return &Analyzer{
+		Name: "handlestate",
+		Doc:  "scheduler-handle lifecycle: stale Cancel, dead-handle use, transition misuse and the clear-field-first rule",
+		Run: func(p *Package) []Diagnostic {
+			return typestateFindings(p, "handlestate")
+		},
+	}
+}

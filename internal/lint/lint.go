@@ -5,7 +5,7 @@
 // using nothing but the standard library (go/parser, go/ast, go/token,
 // go/types — the module is dependency-free and must stay that way).
 //
-// Fifteen analyzers ship with the pass:
+// Eighteen analyzers ship with the pass:
 //
 //   - nondeterminism: wall-clock reads, math/rand, order-sensitive map
 //     iteration, and goroutine spawns inside simulation-scheduled code.
@@ -47,6 +47,18 @@
 //     assertions on annotated fields must be named, must agree with the
 //     declared contract, and must exist for every atom left statically
 //     unproven.
+//   - poollife: path-sensitive typestate proof of the //state: pooled
+//     protocols (see typestate.go) — use-after-free, double-free and
+//     leak-on-path for pooled packets, with escape into long-lived
+//     structs sanctioned only inside //state: sink functions.
+//   - handlestate: the //state: handle protocols — Cancel on a
+//     possibly-dead scheduler handle, transition misuse (Timer
+//     Reset/Stop), and the clear-field-first rule for re-arming
+//     callbacks.
+//   - ownxfer: ownership-transfer signature hygiene — consuming a
+//     borrowed parameter, returning a pooled object without a //state:
+//     mint contract, malformed //state: directives, and
+//     interface/implementation contract agreement.
 //
 // Intentional exceptions are declared inline with a directive comment on
 // the offending line (or the line above):
@@ -113,6 +125,9 @@ func All() []*Analyzer {
 		RangeProof(),
 		Overflow(),
 		CheckCover(),
+		Poollife(),
+		HandleState(),
+		OwnXfer(),
 	}
 }
 
@@ -169,13 +184,22 @@ func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
 
 // applyDirectives filters diags through the package's allow directives and
 // appends a diagnostic for every malformed (reason-less) directive: the
-// allowlist policy requires each exception to say why it exists.
-func applyDirectives(p *Package, diags []Diagnostic) []Diagnostic {
+// allowlist policy requires each exception to say why it exists. With
+// reportStale set it additionally reports every well-formed directive that
+// suppressed nothing as a "staleallow" finding — a justified exemption
+// that has outlived the diagnostic it justified is rot, not documentation.
+func applyDirectives(p *Package, diags []Diagnostic, reportStale bool) []Diagnostic {
 	type key struct {
 		file string
 		line int
 	}
-	allowed := make(map[key][]directive)
+	type allowEntry struct {
+		d    directive
+		file string
+		used bool
+	}
+	var entries []*allowEntry
+	allowed := make(map[key][]*allowEntry)
 	var out []Diagnostic
 	for _, f := range p.Files {
 		file := p.Fset.Position(f.Pos()).Filename
@@ -190,22 +214,46 @@ func applyDirectives(p *Package, diags []Diagnostic) []Diagnostic {
 				})
 				continue
 			}
+			e := &allowEntry{d: d, file: file}
+			entries = append(entries, e)
 			// Cover the directive's own line and the next one, so both
 			// trailing and standalone placements work.
-			allowed[key{file, d.line}] = append(allowed[key{file, d.line}], d)
-			allowed[key{file, d.line + 1}] = append(allowed[key{file, d.line + 1}], d)
+			allowed[key{file, d.line}] = append(allowed[key{file, d.line}], e)
+			allowed[key{file, d.line + 1}] = append(allowed[key{file, d.line + 1}], e)
 		}
 	}
 	for _, dg := range diags {
 		suppressed := false
-		for _, d := range allowed[key{dg.File, dg.Line}] {
-			if d.analyzers[dg.Analyzer] {
+		// Mark every covering directive used, not just the first match: a
+		// directive is stale only if no diagnostic at all lands on it.
+		for _, e := range allowed[key{dg.File, dg.Line}] {
+			if e.d.analyzers[dg.Analyzer] {
 				suppressed = true
-				break
+				e.used = true
 			}
 		}
 		if !suppressed {
 			out = append(out, dg)
+		}
+	}
+	if reportStale {
+		for _, e := range entries {
+			if e.used {
+				continue
+			}
+			names := make([]string, 0, len(e.d.analyzers))
+			for name := range e.d.analyzers {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			out = append(out, Diagnostic{
+				File:     e.file,
+				Line:     e.d.line,
+				Col:      1,
+				Analyzer: "staleallow",
+				Message: fmt.Sprintf("stale //lint:allow %s directive: it suppresses no diagnostic on this or the next line; delete it (or move it back beside the finding it justifies)",
+					strings.Join(names, ",")),
+			})
 		}
 	}
 	return out
@@ -214,13 +262,24 @@ func applyDirectives(p *Package, diags []Diagnostic) []Diagnostic {
 // Run executes the analyzers over the packages and returns the surviving
 // diagnostics sorted by file, line, column and analyzer.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return runSuite(pkgs, analyzers, false)
+}
+
+// RunStale is Run plus stale-directive reporting: every well-formed
+// //lint:allow that suppresses no diagnostic in this run is itself
+// reported (analyzer "staleallow"), so exemptions cannot rot in place.
+func RunStale(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return runSuite(pkgs, analyzers, true)
+}
+
+func runSuite(pkgs []*Package, analyzers []*Analyzer, reportStale bool) []Diagnostic {
 	var out []Diagnostic
 	for _, p := range pkgs {
 		var raw []Diagnostic
 		for _, a := range analyzers {
 			raw = append(raw, a.Run(p)...)
 		}
-		out = append(out, applyDirectives(p, raw)...)
+		out = append(out, applyDirectives(p, raw, reportStale)...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

@@ -1,0 +1,26 @@
+package lint
+
+// OwnXfer enforces ownership-transfer hygiene on //state: signatures —
+// the contracts themselves rather than any single flow. On top of the
+// shared typestate interpreter (typestate.go) it reports:
+//
+//   - a function that consumes (kills or transfers) a parameter it only
+//     borrows: the parameter must carry an explicit //state: kill or
+//     //state: xfer so every caller knows ownership moves,
+//   - a function that returns a caller-owned pooled object without a
+//     //state: mint contract on its declaration,
+//   - malformed //state: directives (unknown verbs, unknown states,
+//     names that match no parameter, protocols over the state-count cap),
+//   - interface-contract consistency: an implementation of an annotated
+//     interface method must declare the same parameter dispositions as
+//     the interface, so callers through the interface and callers of the
+//     concrete type see one contract.
+func OwnXfer() *Analyzer {
+	return &Analyzer{
+		Name: "ownxfer",
+		Doc:  "ownership-transfer contracts: consuming borrowed parameters, unannotated pooled returns, malformed //state: directives",
+		Run: func(p *Package) []Diagnostic {
+			return typestateFindings(p, "ownxfer")
+		},
+	}
+}

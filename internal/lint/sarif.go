@@ -18,10 +18,16 @@ func SARIF(diags []Diagnostic, analyzers []*Analyzer) ([]byte, error) {
 			ShortDescription: sarifText{Text: a.Doc},
 		})
 	}
-	// The directive pseudo-analyzer reports malformed //lint:allow comments.
+	// The directive pseudo-analyzer reports malformed //lint:allow comments,
+	// and staleallow (the -stale-allow mode) reports well-formed ones that
+	// no longer suppress any diagnostic.
 	rules = append(rules, sarifRule{
 		ID:               "directive",
 		ShortDescription: sarifText{Text: "malformed //lint:allow directive"},
+	})
+	rules = append(rules, sarifRule{
+		ID:               "staleallow",
+		ShortDescription: sarifText{Text: "//lint:allow directive that suppresses no diagnostic"},
 	})
 
 	results := make([]sarifResult, 0, len(diags))

@@ -61,8 +61,8 @@ func TestSARIF(t *testing.T) {
 	if run.Tool.Driver.Name != "simlint" {
 		t.Errorf("driver name = %q, want simlint", run.Tool.Driver.Name)
 	}
-	if want := len(All()) + 1; len(run.Tool.Driver.Rules) != want {
-		t.Errorf("rules = %d, want %d (analyzers + directive)", len(run.Tool.Driver.Rules), want)
+	if want := len(All()) + 2; len(run.Tool.Driver.Rules) != want {
+		t.Errorf("rules = %d, want %d (analyzers + directive + staleallow)", len(run.Tool.Driver.Rules), want)
 	}
 	if len(run.Results) != 1 {
 		t.Fatalf("results = %d, want 1", len(run.Results))

@@ -1,0 +1,11 @@
+// Package staleallow carries a well-formed, justified //lint:allow that
+// no longer suppresses anything — the shape -stale-allow exists to catch.
+// The default run ignores it (empty golden); cmd/simlint's tests assert
+// the -stale-allow mode reports it and flips the exit status.
+package staleallow
+
+// Answer is benign; the directive beside it has outlived whatever finding
+// once justified it.
+//
+//lint:allow floateq the comparison this excused was rewritten long ago
+func Answer() int { return 42 }

@@ -1,0 +1,1713 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file implements the typestate engine behind the poollife,
+// handlestate and ownxfer analyzers: a //state: annotation grammar that
+// declares object protocols (named states plus function/method
+// transitions), and a path-sensitive abstract interpreter that tracks the
+// per-variable state set through assignments, branches, loops and calls.
+//
+// Grammar. A type's doc comment declares a protocol:
+//
+//	//state: pooled <state> [-> <state>]...
+//	//state: handle <state> [-> <state>]...
+//
+// The first state is the one mint functions produce by default; a state
+// literally named "freed" or "dead" is terminal. "pooled" protocols carry
+// an exactly-once release obligation (every path from a mint must free or
+// transfer exactly once); "handle" protocols only constrain transitions
+// and dead-handle use — a discarded handle is not a leak.
+//
+// A function or interface-method doc comment declares transitions:
+//
+//	//state: mint [<state>]     result is a caller-owned protocol value
+//	//state: kill <param>       the call consumes (frees) the argument
+//	//state: xfer <param>       ownership transfers to the callee
+//	//state: move <param> <from>[,<from>]... -> <to>
+//	//state: sink               field stores in this function release
+//	                            ownership (the Port ring slots)
+//
+// kill and xfer may target any-typed parameters (the scheduler's arg
+// carriers); move needs a protocol-typed parameter so its state names can
+// resolve. Malformed directives are reported by ownxfer.
+//
+// Abstraction and soundness caveats (see DESIGN.md):
+//
+//   - Tracking is per local variable, seeded by mint-call results, &T{}
+//     composites of pooled protocol types, and protocol-typed parameters
+//     (xfer parameters are owned, unannotated ones borrowed). Struct
+//     fields are not tracked: a field store forgets a handle and is an
+//     ownership transfer for pooled values only inside //state: sink
+//     functions — anywhere else it is reported as an unsanctioned escape.
+//   - Aliasing uses strong updates only: 'y := x' moves the tracking to y
+//     and forgets x.
+//   - Branches join by state-set union, so "freed on some path" findings
+//     are path-sensitive may-analysis. Loops iterate to a fixed point
+//     over the finite state lattice (bounded widening).
+//   - A variable captured by a function literal is forgotten; literal
+//     bodies are analyzed separately with borrowed parameters.
+//   - Defers apply their effects at the defer statement, not at exit.
+//   - goto abandons the function (no findings past the first goto).
+
+// protocol is one //state:-declared object protocol on a named type.
+type protocol struct {
+	name   string // the type name, e.g. "Packet"
+	kind   string // "pooled" or "handle"
+	named  *types.Named
+	states []string
+	pos    token.Pos
+}
+
+// xferBit marks a value whose ownership left through a //state: xfer call;
+// protocols are capped well below it.
+const xferBit uint32 = 1 << 30
+
+// maxProtoStates caps declared states so bit arithmetic stays clear of
+// xferBit.
+const maxProtoStates = 16
+
+func (pr *protocol) bit(i int) uint32 { return 1 << uint(i) }
+
+func (pr *protocol) allMask() uint32 { return 1<<uint(len(pr.states)) - 1 }
+
+// deadMask returns the bits of terminal states (named "freed" or "dead").
+func (pr *protocol) deadMask() uint32 {
+	var m uint32
+	for i, s := range pr.states {
+		if s == "freed" || s == "dead" {
+			m |= pr.bit(i)
+		}
+	}
+	return m
+}
+
+func (pr *protocol) liveMask() uint32 { return pr.allMask() &^ pr.deadMask() }
+
+// goneMask is the set of bits after which a value must not be used: the
+// terminal states plus transferred-away.
+func (pr *protocol) goneMask() uint32 { return pr.deadMask() | xferBit }
+
+func (pr *protocol) stateIndex(name string) int {
+	for i, s := range pr.states {
+		if s == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// setString renders a state mask for diagnostics ("freed", "armed|dead").
+func (pr *protocol) setString(mask uint32) string {
+	var parts []string
+	for i, s := range pr.states {
+		if mask&pr.bit(i) != 0 {
+			parts = append(parts, s)
+		}
+	}
+	if mask&xferBit != 0 {
+		parts = append(parts, "transferred")
+	}
+	if len(parts) == 0 {
+		return "(none)"
+	}
+	return strings.Join(parts, "|")
+}
+
+// dispKind classifies what a call does to one argument.
+type dispKind int
+
+const (
+	dispNone dispKind = iota
+	dispKill
+	dispXfer
+	dispMove
+)
+
+// paramDisp is the declared disposition of one parameter (or receiver).
+type paramDisp struct {
+	kind dispKind
+	from uint32 // move: accepted source states
+	to   uint32 // move: resulting state
+}
+
+// funcStateAnn is the parsed //state: contract of one function or
+// interface method.
+type funcStateAnn struct {
+	mint      bool
+	mintState uint32
+	mintProto *protocol
+	recv      paramDisp
+	params    map[int]paramDisp
+	sink      bool
+}
+
+// annotated reports whether the contract carries any transition at all.
+func (a *funcStateAnn) annotated() bool {
+	if a == nil {
+		return false
+	}
+	return a.mint || a.sink || a.recv.kind != dispNone || len(a.params) > 0
+}
+
+// stateTable holds every parsed protocol and function contract in the
+// module, plus the malformed-directive findings (attributed to the
+// declaring package and reported by ownxfer).
+type stateTable struct {
+	protos map[*types.Named]*protocol
+	funcs  map[*types.Func]*funcStateAnn
+	errs   map[*Package][]Diagnostic
+}
+
+// typestates returns the module's //state: table, building it on first
+// use (cached on the Program, invalidated with the call graph).
+func (prog *Program) typestates() *stateTable {
+	prog.build()
+	if prog.stateTable != nil {
+		return prog.stateTable
+	}
+	t := &stateTable{
+		protos: make(map[*types.Named]*protocol),
+		funcs:  make(map[*types.Func]*funcStateAnn),
+		errs:   make(map[*Package][]Diagnostic),
+	}
+	// Pass 1: protocols, so function contracts can resolve state names.
+	for _, p := range prog.pkgs {
+		t.collectProtocols(p)
+	}
+	// Pass 2: function and interface-method contracts.
+	for _, p := range prog.pkgs {
+		t.collectFuncs(p)
+	}
+	prog.stateTable = t
+	return t
+}
+
+// stateLines extracts the //state: directive lines from a doc comment.
+// Both "//state:" and "// state:" match: gofmt's doc-comment printer
+// inserts the space (the colon is followed by a space, so the line does
+// not parse as a compiler directive), and an annotation must not stop
+// binding because the file was formatted.
+func stateLines(doc *ast.CommentGroup) []*ast.Comment {
+	if doc == nil {
+		return nil
+	}
+	var out []*ast.Comment
+	for _, c := range doc.List {
+		if _, ok := statePayload(c); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// statePayload returns the text after the //state: marker, in either its
+// raw or gofmt-normalized spelling.
+func statePayload(c *ast.Comment) (string, bool) {
+	if rest, ok := strings.CutPrefix(c.Text, "//state:"); ok {
+		return rest, true
+	}
+	if rest, ok := strings.CutPrefix(c.Text, "// state:"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+func (t *stateTable) errf(p *Package, pos token.Pos, format string, args ...any) {
+	t.errs[p] = append(t.errs[p], p.diag("ownxfer", pos, format, args...))
+}
+
+// collectProtocols parses type-level //state: declarations in p.
+func (t *stateTable) collectProtocols(p *Package) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				for _, c := range stateLines(doc) {
+					t.addProtocol(p, ts, c)
+				}
+			}
+		}
+	}
+}
+
+func (t *stateTable) addProtocol(p *Package, ts *ast.TypeSpec, c *ast.Comment) {
+	payload, _ := statePayload(c)
+	fields := strings.Fields(payload)
+	if len(fields) == 0 {
+		t.errf(p, c.Pos(), "malformed //state: directive: empty")
+		return
+	}
+	kind := fields[0]
+	if kind != "pooled" && kind != "handle" {
+		t.errf(p, c.Pos(), "malformed //state: directive on type %s: want 'pooled' or 'handle', got %q", ts.Name.Name, kind)
+		return
+	}
+	states, ok := parseStateChain(strings.Join(fields[1:], " "))
+	if !ok || len(states) == 0 {
+		t.errf(p, c.Pos(), "malformed //state: directive on type %s: want '//state: %s <state> [-> <state>]...'", ts.Name.Name, kind)
+		return
+	}
+	if len(states) > maxProtoStates {
+		t.errf(p, c.Pos(), "//state: protocol on type %s declares %d states (max %d)", ts.Name.Name, len(states), maxProtoStates)
+		return
+	}
+	tn, ok := p.Info.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		t.errf(p, c.Pos(), "//state: protocol on %s: not a named type", ts.Name.Name)
+		return
+	}
+	t.protos[named] = &protocol{
+		name:   ts.Name.Name,
+		kind:   kind,
+		named:  named,
+		states: states,
+		pos:    c.Pos(),
+	}
+}
+
+// parseStateChain parses "a -> b -> c" (also accepting "a->b") into state
+// names.
+func parseStateChain(s string) ([]string, bool) {
+	var out []string
+	for _, part := range strings.Split(s, "->") {
+		name := strings.TrimSpace(part)
+		if name == "" || strings.ContainsAny(name, " \t") {
+			return nil, false
+		}
+		out = append(out, name)
+	}
+	return out, true
+}
+
+// protoOf returns the protocol of a *T value type, or nil.
+func (t *stateTable) protoOf(typ types.Type) *protocol {
+	ptr, ok := typ.(*types.Pointer)
+	if !ok {
+		return nil
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return nil
+	}
+	return t.protos[named]
+}
+
+// collectFuncs parses function-level //state: contracts in p: declared
+// functions and methods, plus interface methods (so a contract like
+// Node.Deliver's ownership transfer binds every dynamic dispatch site).
+func (t *stateTable) collectFuncs(p *Package) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			lines := stateLines(fd.Doc)
+			if len(lines) == 0 {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			t.addFuncAnn(p, fn, fd.Recv, fd.Type, lines)
+		}
+		// Interface methods: the contract lives on the method's doc inside
+		// the interface declaration.
+		ast.Inspect(f, func(n ast.Node) bool {
+			it, ok := n.(*ast.InterfaceType)
+			if !ok {
+				return true
+			}
+			for _, m := range it.Methods.List {
+				lines := stateLines(m.Doc)
+				if len(lines) == 0 || len(m.Names) == 0 {
+					continue
+				}
+				fn, ok := p.Info.Defs[m.Names[0]].(*types.Func)
+				if !ok {
+					continue
+				}
+				ft, ok := m.Type.(*ast.FuncType)
+				if !ok {
+					continue
+				}
+				t.addFuncAnn(p, fn, nil, ft, lines)
+			}
+			return true
+		})
+	}
+}
+
+func (t *stateTable) addFuncAnn(p *Package, fn *types.Func, recv *ast.FieldList, ftype *ast.FuncType, lines []*ast.Comment) {
+	ann := t.funcs[fn]
+	if ann == nil {
+		ann = &funcStateAnn{params: make(map[int]paramDisp)}
+		t.funcs[fn] = ann
+	}
+	params := flattenParams(p, ftype.Params)
+	recvName := ""
+	var recvType types.Type
+	if recv != nil && len(recv.List) == 1 {
+		if len(recv.List[0].Names) == 1 {
+			recvName = recv.List[0].Names[0].Name
+		}
+		if v, ok := p.Info.Defs[recv.List[0].Names[0]].(*types.Var); recvName != "" && ok {
+			recvType = v.Type()
+		}
+	}
+	// setDisp installs a disposition for the named parameter or receiver,
+	// reporting the error cases inline.
+	setDisp := func(c *ast.Comment, name string, d paramDisp, needProto bool) (proto *protocol) {
+		if name == recvName && recvName != "" {
+			proto = t.protoOf(recvType)
+			if needProto && proto == nil {
+				t.errf(p, c.Pos(), "//state: directive on %s: receiver %q has no protocol type", fn.Name(), name)
+				return nil
+			}
+			ann.recv = d
+			return proto
+		}
+		for i, prm := range params {
+			if prm.name != name {
+				continue
+			}
+			proto = t.protoOf(prm.typ)
+			if proto == nil && needProto {
+				t.errf(p, c.Pos(), "//state: directive on %s: parameter %q has no protocol type", fn.Name(), name)
+				return nil
+			}
+			if proto == nil && !isAnyType(prm.typ) {
+				t.errf(p, c.Pos(), "//state: directive on %s: parameter %q is neither protocol-typed nor any", fn.Name(), name)
+				return nil
+			}
+			ann.params[i] = d
+			return proto
+		}
+		t.errf(p, c.Pos(), "//state: directive on %s names unknown parameter %q", fn.Name(), name)
+		return nil
+	}
+	for _, c := range lines {
+		payload, _ := statePayload(c)
+		fields := strings.Fields(payload)
+		if len(fields) == 0 {
+			t.errf(p, c.Pos(), "malformed //state: directive: empty")
+			continue
+		}
+		switch fields[0] {
+		case "mint":
+			sig := fn.Type().(*types.Signature)
+			if sig.Results().Len() == 0 {
+				t.errf(p, c.Pos(), "//state: mint on %s: function has no results", fn.Name())
+				continue
+			}
+			proto := t.protoOf(sig.Results().At(0).Type())
+			if proto == nil {
+				t.errf(p, c.Pos(), "//state: mint on %s: first result is not a protocol-typed pointer", fn.Name())
+				continue
+			}
+			state := 0
+			if len(fields) > 1 {
+				state = proto.stateIndex(fields[1])
+				if state < 0 {
+					t.errf(p, c.Pos(), "//state: mint on %s: %s has no state %q", fn.Name(), proto.name, fields[1])
+					continue
+				}
+			}
+			ann.mint = true
+			ann.mintProto = proto
+			ann.mintState = proto.bit(state)
+		case "kill", "xfer":
+			if len(fields) != 2 {
+				t.errf(p, c.Pos(), "malformed //state: %s on %s: want '//state: %s <param>'", fields[0], fn.Name(), fields[0])
+				continue
+			}
+			d := paramDisp{kind: dispKill}
+			if fields[0] == "xfer" {
+				d.kind = dispXfer
+			}
+			setDisp(c, fields[1], d, false)
+		case "move":
+			rest := strings.Join(fields[2:], " ")
+			halves := strings.Split(rest, "->")
+			if len(fields) < 3 || len(halves) != 2 {
+				t.errf(p, c.Pos(), "malformed //state: move on %s: want '//state: move <param> <from>[,<from>] -> <to>'", fn.Name())
+				continue
+			}
+			proto := setDisp(c, fields[1], paramDisp{kind: dispMove}, true)
+			if proto == nil {
+				continue
+			}
+			var from uint32
+			bad := false
+			for _, s := range strings.Split(halves[0], ",") {
+				i := proto.stateIndex(strings.TrimSpace(s))
+				if i < 0 {
+					t.errf(p, c.Pos(), "//state: move on %s: %s has no state %q", fn.Name(), proto.name, strings.TrimSpace(s))
+					bad = true
+					break
+				}
+				from |= proto.bit(i)
+			}
+			toIdx := proto.stateIndex(strings.TrimSpace(halves[1]))
+			if toIdx < 0 && !bad {
+				t.errf(p, c.Pos(), "//state: move on %s: %s has no state %q", fn.Name(), proto.name, strings.TrimSpace(halves[1]))
+				bad = true
+			}
+			if bad {
+				continue
+			}
+			setDisp(c, fields[1], paramDisp{kind: dispMove, from: from, to: proto.bit(toIdx)}, true)
+		case "sink":
+			ann.sink = true
+		default:
+			t.errf(p, c.Pos(), "malformed //state: directive on %s: unknown verb %q (want mint, kill, xfer, move or sink)", fn.Name(), fields[0])
+		}
+	}
+}
+
+func isAnyType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	return ok && iface.Empty()
+}
+
+// ---------------------------------------------------------------------------
+// Abstract interpreter
+
+// tsVal is the abstract state of one tracked variable: the protocol it
+// obeys, the set of states it may occupy, and whether this function owns
+// its release obligation.
+type tsVal struct {
+	proto   *protocol
+	states  uint32
+	owned   bool
+	tainted bool      // a use-after-gone was already reported; damp cascades
+	mintPos token.Pos // where the obligation originated
+}
+
+// tsEnv maps tracked variables to their abstract state. Values are stored
+// by value so cloning a branch environment is a plain map copy.
+type tsEnv map[*types.Var]tsVal
+
+func (e tsEnv) clone() tsEnv {
+	out := make(tsEnv, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// join unions two branch environments: a variable present in both unions
+// its state sets; a variable present on one path keeps its obligation (a
+// leak on that path is still a leak).
+func joinEnv(a, b tsEnv) tsEnv {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := a.clone()
+	for _, v := range sortedEnvVars(b) {
+		bv := b[v]
+		if av, ok := out[v]; ok {
+			av.states |= bv.states
+			av.owned = av.owned || bv.owned
+			av.tainted = av.tainted || bv.tainted
+			out[v] = av
+		} else {
+			out[v] = bv
+		}
+	}
+	return out
+}
+
+// sortedEnvVars returns env's keys in deterministic (position, name)
+// order, so joins, exit checks and diagnostics never depend on map order.
+func sortedEnvVars(env tsEnv) []*types.Var {
+	vars := make([]*types.Var, 0, len(env))
+	for v := range env {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool {
+		if vars[i].Pos() != vars[j].Pos() {
+			return vars[i].Pos() < vars[j].Pos()
+		}
+		return vars[i].Name() < vars[j].Name()
+	})
+	return vars
+}
+
+func equalEnv(a, b tsEnv) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, v := range sortedEnvVars(a) {
+		av := a[v]
+		bv, ok := b[v]
+		if !ok || av.states != bv.states || av.owned != bv.owned || av.tainted != bv.tainted {
+			return false
+		}
+	}
+	return true
+}
+
+// tsLoopPassCap bounds the loop fixpoint. State sets only grow under union,
+// so the lattice height (states per variable) already guarantees
+// termination; the cap is a safety net mirroring summaryPassCap.
+const tsLoopPassCap = 8
+
+// tsFinding is one engine finding, tagged with the analyzer that owns it.
+type tsFinding struct {
+	analyzer string
+	d        Diagnostic
+}
+
+// typestateAnalysis is the cached per-package engine result shared by
+// poollife, handlestate and ownxfer.
+type typestateAnalysis struct {
+	findings []tsFinding
+}
+
+// typestateOf runs the typestate engine once over every function of p
+// (cached per package): the per-function abstract interpretation, the
+// module-wide callback clear-first rule, and the interface-contract
+// consistency check.
+func (prog *Program) typestateOf(p *Package) *typestateAnalysis {
+	prog.build()
+	if a, ok := prog.typestateResults[p]; ok {
+		return a
+	}
+	tab := prog.typestates()
+	a := &typestateAnalysis{}
+	for _, d := range tab.errs[p] {
+		a.findings = append(a.findings, tsFinding{analyzer: "ownxfer", d: d})
+	}
+	for _, n := range prog.order {
+		if n.pkg != p {
+			continue
+		}
+		f := &tsFlow{pkg: p, prog: prog, tab: tab, out: a, seen: make(map[string]bool)}
+		f.analyzeDecl(n.decl, tab.funcs[n.fn])
+	}
+	clearFirstPass(p, prog, tab, a)
+	ifaceContracts(p, prog, tab, a)
+	if prog.typestateResults == nil {
+		prog.typestateResults = make(map[*Package]*typestateAnalysis)
+	}
+	prog.typestateResults[p] = a
+	return a
+}
+
+// tsFlow interprets one declared function (and, recursively, the function
+// literals it contains, each with a fresh environment).
+type tsFlow struct {
+	pkg  *Package
+	prog *Program
+	tab  *stateTable
+	out  *typestateAnalysis
+	seen map[string]bool
+
+	ann      *funcStateAnn // contract of the function under analysis
+	declName string        // for messages: "Enqueue" or "function literal"
+
+	// loop context for break/continue env collection (innermost last).
+	breakEnvs    []*[]tsEnv
+	continueEnvs []*[]tsEnv
+
+	aborted bool // goto encountered: stop reporting in this function
+	lits    []*ast.FuncLit
+}
+
+func (f *tsFlow) report(analyzer string, pos token.Pos, format string, args ...any) {
+	if f.aborted {
+		return
+	}
+	d := f.pkg.diag(analyzer, pos, format, args...)
+	key := fmt.Sprintf("%s|%s|%d|%d|%s", analyzer, d.File, d.Line, d.Col, d.Message)
+	if f.seen[key] {
+		return
+	}
+	f.seen[key] = true
+	f.out.findings = append(f.out.findings, tsFinding{analyzer: analyzer, d: d})
+}
+
+// analyzeDecl interprets one function declaration, then every function
+// literal discovered inside it.
+func (f *tsFlow) analyzeDecl(decl *ast.FuncDecl, ann *funcStateAnn) {
+	f.ann = ann
+	f.declName = decl.Name.Name
+	env := make(tsEnv)
+	if decl.Recv != nil && len(decl.Recv.List) == 1 && len(decl.Recv.List[0].Names) == 1 {
+		recvDisp := paramDisp{}
+		if ann != nil {
+			recvDisp = ann.recv
+		}
+		f.seedParam(env, decl.Recv.List[0].Names[0], recvDisp)
+	}
+	f.seedParams(env, decl.Type.Params, ann)
+	f.runBody(env, decl.Body)
+	f.drainLits()
+}
+
+// drainLits analyzes the function literals collected so far (literals may
+// nest, so the worklist can grow while draining).
+func (f *tsFlow) drainLits() {
+	for len(f.lits) > 0 {
+		lit := f.lits[0]
+		f.lits = f.lits[1:]
+		f.ann = nil
+		f.declName = "function literal"
+		f.aborted = false
+		env := make(tsEnv)
+		f.seedParams(env, lit.Type.Params, nil)
+		f.runBody(env, lit.Body)
+	}
+}
+
+// seedParams seeds the environment from a parameter list: xfer parameters
+// arrive owned, kill/move parameters are the primitive's own subject (not
+// tracked in its body), and unannotated protocol-typed parameters are
+// borrowed.
+func (f *tsFlow) seedParams(env tsEnv, params *ast.FieldList, ann *funcStateAnn) {
+	if params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range params.List {
+		names := field.Names
+		if len(names) == 0 {
+			idx++
+			continue
+		}
+		for _, name := range names {
+			disp := paramDisp{}
+			if ann != nil {
+				disp = ann.params[idx]
+			}
+			f.seedParam(env, name, disp)
+			idx++
+		}
+	}
+}
+
+func (f *tsFlow) seedParam(env tsEnv, name *ast.Ident, disp paramDisp) {
+	v, ok := f.pkg.Info.Defs[name].(*types.Var)
+	if !ok {
+		return
+	}
+	proto := f.tab.protoOf(v.Type())
+	if proto == nil {
+		return
+	}
+	switch disp.kind {
+	case dispKill, dispMove:
+		// This function is the transition primitive; its body implements
+		// the protocol rather than obeying it.
+		return
+	case dispXfer:
+		env[v] = tsVal{proto: proto, states: proto.liveMask(), owned: true, mintPos: name.Pos()}
+	case dispNone:
+		env[v] = tsVal{proto: proto, states: proto.liveMask(), owned: false, mintPos: name.Pos()}
+	}
+}
+
+// runBody interprets a body and applies the exit obligations when the
+// body can fall off its end.
+func (f *tsFlow) runBody(env tsEnv, body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	out, terminated := f.stmtList(env, body.List)
+	if !terminated {
+		f.checkExit(out, body.End())
+	}
+}
+
+// checkExit reports the pooled leak obligation at a function exit: every
+// owned pooled value must have been released or transferred on this path.
+func (f *tsFlow) checkExit(env tsEnv, pos token.Pos) {
+	for _, v := range sortedEnvVars(env) {
+		val := env[v]
+		if !val.owned || val.tainted || val.proto.kind != "pooled" {
+			continue
+		}
+		if val.states&val.proto.liveMask() != 0 {
+			f.report("poollife", val.mintPos,
+				"pooled %s '%s' is not released on every path: a function exit is reachable while it is still owned (want exactly one free or ownership transfer per path)",
+				val.proto.name, v.Name())
+		}
+	}
+	_ = pos
+}
+
+// stmtList interprets statements in order, stopping at the first
+// terminated path (the rest is unreachable).
+func (f *tsFlow) stmtList(env tsEnv, list []ast.Stmt) (tsEnv, bool) {
+	for _, s := range list {
+		var term bool
+		env, term = f.stmt(env, s)
+		if term || f.aborted {
+			return env, true
+		}
+	}
+	return env, false
+}
+
+// stmt interprets one statement, returning the outgoing environment and
+// whether the path terminated (return, panic, terminal call).
+func (f *tsFlow) stmt(env tsEnv, s ast.Stmt) (tsEnv, bool) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if f.isTerminalCall(st.X) {
+			f.expr(env, st.X)
+			return env, true
+		}
+		// A discarded mint result is a leak for pooled protocols: the
+		// caller owns it and nothing can ever free it.
+		if call, ok := unparen(st.X).(*ast.CallExpr); ok {
+			val, _ := f.valueOf(env, call, false)
+			if val != nil && val.owned && val.proto.kind == "pooled" {
+				f.report("poollife", call.Pos(),
+					"result of this call is a caller-owned pooled %s: discarding it leaks (bind it and release exactly once)",
+					val.proto.name)
+			}
+			return env, false
+		}
+		f.expr(env, st.X)
+		return env, false
+	case *ast.AssignStmt:
+		return f.assign(env, st), false
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						f.bind(env, name, vs.Values[i])
+					}
+				}
+			}
+		}
+		return env, false
+	case *ast.ReturnStmt:
+		for _, res := range st.Results {
+			val, handled := f.valueOf(env, res, true)
+			if val != nil && val.owned && val.proto.kind == "pooled" {
+				if f.ann == nil || !f.ann.mint {
+					f.report("ownxfer", st.Pos(),
+						"%s returns a caller-owned pooled %s without a '//state: mint' contract on its declaration",
+						f.declName, val.proto.name)
+				}
+			} else if !handled {
+				f.expr(env, res)
+			}
+		}
+		f.checkExit(env, st.Pos())
+		return env, true
+	case *ast.IfStmt:
+		if st.Init != nil {
+			env, _ = f.stmt(env, st.Init)
+		}
+		f.expr(env, st.Cond)
+		thenEnv, thenTerm := f.stmtList(env.clone(), st.Body.List)
+		var elseEnv tsEnv
+		elseTerm := false
+		if st.Else != nil {
+			elseEnv, elseTerm = f.stmt(env.clone(), st.Else)
+		} else {
+			elseEnv = env
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return env, true
+		case thenTerm:
+			return elseEnv, false
+		case elseTerm:
+			return thenEnv, false
+		default:
+			return joinEnv(thenEnv, elseEnv), false
+		}
+	case *ast.BlockStmt:
+		return f.stmtList(env, st.List)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			env, _ = f.stmt(env, st.Init)
+		}
+		if st.Tag != nil {
+			f.expr(env, st.Tag)
+		}
+		return f.caseClauses(env, st.Body.List, false)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			env, _ = f.stmt(env, st.Init)
+		}
+		f.stmtUses(env, st.Assign)
+		return f.caseClauses(env, st.Body.List, false)
+	case *ast.SelectStmt:
+		return f.caseClauses(env, st.Body.List, true)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			env, _ = f.stmt(env, st.Init)
+		}
+		exit, broke := f.loop(env, func(in tsEnv) (tsEnv, bool) {
+			if st.Cond != nil {
+				f.expr(in, st.Cond)
+			}
+			out, term := f.stmtList(in, st.Body.List)
+			if !term && st.Post != nil {
+				out, _ = f.stmt(out, st.Post)
+			}
+			return out, term
+		})
+		if st.Cond == nil && !broke {
+			return exit, true // for {} with no break never exits
+		}
+		return exit, false
+	case *ast.RangeStmt:
+		f.expr(env, st.X)
+		f.untrackAssigned(env, st.Key)
+		f.untrackAssigned(env, st.Value)
+		exit, _ := f.loop(env, func(in tsEnv) (tsEnv, bool) {
+			return f.stmtList(in, st.Body.List)
+		})
+		return exit, false
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			if n := len(f.breakEnvs); n > 0 {
+				*f.breakEnvs[n-1] = append(*f.breakEnvs[n-1], env)
+			}
+			return env, true
+		case token.CONTINUE:
+			if n := len(f.continueEnvs); n > 0 {
+				*f.continueEnvs[n-1] = append(*f.continueEnvs[n-1], env)
+			}
+			return env, true
+		case token.GOTO:
+			// Unstructured flow: abandon the function rather than guess.
+			f.aborted = true
+			return env, true
+		}
+		return env, false // fallthrough: handled as ordinary flow
+	case *ast.DeferStmt:
+		// Approximation: a deferred release applies at the defer site.
+		f.expr(env, st.Call)
+		return env, false
+	case *ast.GoStmt:
+		f.expr(env, st.Call)
+		return env, false
+	case *ast.LabeledStmt:
+		return f.stmt(env, st.Stmt)
+	case *ast.IncDecStmt:
+		f.expr(env, st.X)
+		return env, false
+	case *ast.SendStmt:
+		f.expr(env, st.Chan)
+		f.expr(env, st.Value)
+		return env, false
+	case *ast.EmptyStmt:
+		return env, false
+	default:
+		f.stmtUses(env, s)
+		return env, false
+	}
+}
+
+// stmtUses conservatively scans an unmodeled statement for uses of
+// tracked variables.
+func (f *tsFlow) stmtUses(env tsEnv, s ast.Stmt) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			f.captureLit(env, e)
+			return false
+		case *ast.Ident:
+			f.useIdent(env, e)
+		}
+		return true
+	})
+}
+
+// caseClauses joins the bodies of switch/select clauses. hasDefault is
+// discovered from the clauses themselves; without a default the entry
+// environment also flows past the statement.
+func (f *tsFlow) caseClauses(env tsEnv, clauses []ast.Stmt, isSelect bool) (tsEnv, bool) {
+	var out tsEnv
+	sawDefault := false
+	anyLive := false
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				f.expr(env, e)
+			}
+			if cc.List == nil {
+				sawDefault = true
+			}
+			body = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				f.stmtUses(env, cc.Comm)
+			} else {
+				sawDefault = true
+			}
+			body = cc.Body
+		default:
+			continue
+		}
+		cEnv, term := f.stmtList(env.clone(), body)
+		if !term {
+			out = joinEnv(out, cEnv)
+			anyLive = true
+		}
+	}
+	if !sawDefault || isSelect {
+		out = joinEnv(out, env)
+		anyLive = true
+	}
+	if !anyLive {
+		return env, true
+	}
+	return out, false
+}
+
+// loop iterates body to a fixed point (widening by state-set union over
+// the finite lattice), collecting break/continue environments. It returns
+// the post-loop environment and whether any break can exit the loop.
+func (f *tsFlow) loop(env tsEnv, body func(tsEnv) (tsEnv, bool)) (tsEnv, bool) {
+	pre := env
+	var breaks []tsEnv
+	for pass := 0; pass < tsLoopPassCap; pass++ {
+		breaks = breaks[:0]
+		var continues []tsEnv
+		f.breakEnvs = append(f.breakEnvs, &breaks)
+		f.continueEnvs = append(f.continueEnvs, &continues)
+		out, term := body(pre.clone())
+		f.breakEnvs = f.breakEnvs[:len(f.breakEnvs)-1]
+		f.continueEnvs = f.continueEnvs[:len(f.continueEnvs)-1]
+		backEdge := tsEnv(nil)
+		if !term {
+			backEdge = out
+		}
+		for _, c := range continues {
+			backEdge = joinEnv(backEdge, c)
+		}
+		next := pre
+		if backEdge != nil {
+			next = joinEnv(pre, backEdge)
+		}
+		if equalEnv(next, pre) {
+			break
+		}
+		pre = next
+	}
+	exit := pre
+	for _, b := range breaks {
+		exit = joinEnv(exit, b)
+	}
+	return exit, len(breaks) > 0
+}
+
+// ---------------------------------------------------------------------------
+// Assignments and expressions
+
+// assign interprets an assignment statement.
+func (f *tsFlow) assign(env tsEnv, st *ast.AssignStmt) tsEnv {
+	if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+		// Compound ops (+=, -=...) read and write non-protocol values.
+		for _, e := range st.Lhs {
+			f.expr(env, e)
+		}
+		for _, e := range st.Rhs {
+			f.expr(env, e)
+		}
+		return env
+	}
+	if len(st.Lhs) == len(st.Rhs) {
+		for i := range st.Lhs {
+			f.assignOne(env, st.Lhs[i], st.Rhs[i])
+		}
+		return env
+	}
+	// Multi-value form (x, y := f()): no protocol function returns
+	// multiple values in this module; scan and untrack conservatively.
+	for _, e := range st.Rhs {
+		f.expr(env, e)
+	}
+	for _, e := range st.Lhs {
+		f.untrackAssigned(env, e)
+	}
+	return env
+}
+
+// assignOne interprets 'lhs = rhs' for one pair.
+func (f *tsFlow) assignOne(env tsEnv, lhs, rhs ast.Expr) {
+	val, handled := f.valueOf(env, rhs, true)
+	if !handled {
+		f.expr(env, rhs)
+	}
+	switch l := unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			if val != nil && val.owned && val.proto.kind == "pooled" {
+				f.report("poollife", rhs.Pos(),
+					"caller-owned pooled %s assigned to the blank identifier: nothing can ever free it", val.proto.name)
+			}
+			return
+		}
+		v, _ := f.pkg.Info.Defs[l].(*types.Var)
+		if v == nil {
+			v, _ = f.pkg.Info.Uses[l].(*types.Var)
+		}
+		if v == nil {
+			return
+		}
+		f.checkOverwrite(env, v, l.Pos())
+		if val != nil {
+			env[v] = *val
+		} else {
+			delete(env, v)
+		}
+	case *ast.SelectorExpr:
+		f.expr(env, l.X)
+		f.storeEscape(val, rhs.Pos(), "a struct field")
+	case *ast.IndexExpr:
+		f.expr(env, l.X)
+		f.expr(env, l.Index)
+		f.storeEscape(val, rhs.Pos(), "a container slot")
+	case *ast.StarExpr:
+		f.expr(env, l.X)
+		f.storeEscape(val, rhs.Pos(), "a pointed-to location")
+	default:
+		f.expr(env, lhs)
+	}
+}
+
+// storeEscape applies the field/slot-store rule: a handle is simply
+// forgotten, while a pooled value may only escape into long-lived storage
+// inside a //state: sink function.
+func (f *tsFlow) storeEscape(val *tsVal, pos token.Pos, where string) {
+	if val == nil || !val.owned || val.proto.kind != "pooled" {
+		return
+	}
+	if f.ann != nil && f.ann.sink {
+		return
+	}
+	f.report("poollife", pos,
+		"pooled %s stored into %s outside a //state: sink function: ownership hand-off into long-lived structure must happen at an annotated sink",
+		val.proto.name, where)
+}
+
+// checkOverwrite reports an assignment clobbering a variable that still
+// carries an obligation: a still-owned pooled value leaks, and a handle
+// off its quiescent first state is orphaned mid-protocol.
+func (f *tsFlow) checkOverwrite(env tsEnv, v *types.Var, pos token.Pos) {
+	val, ok := env[v]
+	if !ok {
+		return
+	}
+	if val.proto.kind == "pooled" {
+		if val.owned && val.states&val.proto.liveMask() != 0 {
+			f.report("poollife", pos,
+				"assignment overwrites '%s' while it still owns a pooled %s (minted at line %d): the previous object leaks",
+				v.Name(), val.proto.name, f.pkg.Fset.Position(val.mintPos).Line)
+		}
+		return
+	}
+	quiescent := val.proto.bit(0) | val.proto.deadMask() | xferBit
+	if val.states&^quiescent != 0 {
+		f.report("handlestate", pos,
+			"assignment overwrites handle '%s' while it may still be %s: the in-flight handle is orphaned mid-protocol",
+			v.Name(), val.proto.setString(val.states&^quiescent))
+	}
+}
+
+// bind handles 'var x = rhs' declarations.
+func (f *tsFlow) bind(env tsEnv, name *ast.Ident, rhs ast.Expr) {
+	val, handled := f.valueOf(env, rhs, true)
+	if !handled {
+		f.expr(env, rhs)
+	}
+	v, ok := f.pkg.Info.Defs[name].(*types.Var)
+	if !ok {
+		return
+	}
+	if val != nil {
+		env[v] = *val
+	}
+}
+
+// valueOf classifies rhs as a protocol-tracked value. consume controls
+// whether a tracked source variable is moved out of the environment
+// (assignment/return contexts) or merely classified (discard checks).
+// The second result reports whether rhs was fully processed here
+// (side effects applied); when false the caller must scan rhs itself.
+func (f *tsFlow) valueOf(env tsEnv, rhs ast.Expr, consume bool) (*tsVal, bool) {
+	switch e := unparen(rhs).(type) {
+	case *ast.CallExpr:
+		callee, _ := f.pkg.calleeOf(e)
+		ann := f.tab.funcs[callee]
+		f.call(env, e, callee, ann)
+		if ann != nil && ann.mint {
+			return &tsVal{proto: ann.mintProto, states: ann.mintState, owned: true, mintPos: e.Pos()}, true
+		}
+		return nil, true
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return nil, false
+		}
+		cl, ok := e.X.(*ast.CompositeLit)
+		if !ok {
+			return nil, false
+		}
+		proto := f.tab.protoOf(f.pkg.Info.TypeOf(rhs))
+		if proto == nil || proto.kind != "pooled" {
+			return nil, false
+		}
+		for _, el := range cl.Elts {
+			f.expr(env, el)
+		}
+		return &tsVal{proto: proto, states: proto.bit(0), owned: true, mintPos: rhs.Pos()}, true
+	case *ast.Ident:
+		v, _ := f.pkg.Info.Uses[e].(*types.Var)
+		if v == nil {
+			return nil, false
+		}
+		val, ok := env[v]
+		if !ok {
+			return nil, false
+		}
+		f.useIdent(env, e)
+		val = env[v] // useIdent may have healed the state set
+		if consume {
+			// Strong update: 'y := x' moves the tracking to y.
+			delete(env, v)
+		}
+		return &val, true
+	}
+	return nil, false
+}
+
+// isTerminalCall reports whether the expression statement unconditionally
+// dies: panic(...) or a call to a terminal helper (check.Failf).
+func (f *tsFlow) isTerminalCall(e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" && f.pkg.Info.Uses[id] == nil {
+		return true
+	}
+	callee, _ := f.pkg.calleeOf(call)
+	return callee != nil && f.prog.isTerminal(callee)
+}
+
+// expr scans an expression, applying call contracts and use checks.
+func (f *tsFlow) expr(env tsEnv, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch ex := unparen(e).(type) {
+	case *ast.CallExpr:
+		callee, _ := f.pkg.calleeOf(ex)
+		ann := f.tab.funcs[callee]
+		f.call(env, ex, callee, ann)
+		if ann != nil && ann.mint && ann.mintProto.kind == "pooled" {
+			// A mint result consumed in a larger expression (not bound,
+			// not returned, not an argument) cannot be released.
+			f.report("poollife", ex.Pos(),
+				"result of this call is a caller-owned pooled %s: discarding it leaks (bind it and release exactly once)",
+				ann.mintProto.name)
+		}
+	case *ast.Ident:
+		f.useIdent(env, ex)
+	case *ast.FuncLit:
+		f.captureLit(env, ex)
+	case *ast.SelectorExpr:
+		f.expr(env, ex.X)
+	case *ast.StarExpr:
+		f.expr(env, ex.X)
+	case *ast.UnaryExpr:
+		f.expr(env, ex.X)
+	case *ast.BinaryExpr:
+		f.expr(env, ex.X)
+		f.expr(env, ex.Y)
+	case *ast.IndexExpr:
+		f.expr(env, ex.X)
+		f.expr(env, ex.Index)
+	case *ast.SliceExpr:
+		f.expr(env, ex.X)
+		f.expr(env, ex.Low)
+		f.expr(env, ex.High)
+		f.expr(env, ex.Max)
+	case *ast.TypeAssertExpr:
+		f.expr(env, ex.X)
+	case *ast.CompositeLit:
+		for _, el := range ex.Elts {
+			f.expr(env, el)
+		}
+	case *ast.KeyValueExpr:
+		f.expr(env, ex.Value)
+	}
+}
+
+// useIdent checks one variable read against its abstract state: touching
+// a possibly-freed pooled value or a possibly-dead handle is the core
+// use-after-free rule. After reporting, the gone bits are healed so one
+// mistake does not cascade down the function.
+func (f *tsFlow) useIdent(env tsEnv, id *ast.Ident) {
+	v, _ := f.pkg.Info.Uses[id].(*types.Var)
+	if v == nil {
+		return
+	}
+	val, ok := env[v]
+	if !ok {
+		return
+	}
+	gone := val.states & val.proto.goneMask()
+	if gone == 0 {
+		return
+	}
+	if val.proto.kind == "pooled" {
+		f.report("poollife", id.Pos(),
+			"use of '%s' after it was %s: pooled %s reaches this point %s on some path",
+			id.Name, goneVerb(gone, val.proto), val.proto.name, val.proto.setString(gone))
+	} else {
+		f.report("handlestate", id.Pos(),
+			"use of possibly-dead handle '%s': %s reaches this point %s on some path (a recycled handle must not be touched)",
+			id.Name, val.proto.name, val.proto.setString(gone))
+	}
+	val.states = (val.states &^ val.proto.goneMask()) | (val.proto.liveMask() & val.proto.allMask())
+	if val.states == 0 {
+		val.states = val.proto.bit(0)
+	}
+	val.tainted = true
+	env[v] = val
+}
+
+func goneVerb(gone uint32, pr *protocol) string {
+	switch {
+	case gone&xferBit != 0 && gone&pr.deadMask() != 0:
+		return "freed or handed off"
+	case gone&xferBit != 0:
+		return "handed off"
+	default:
+		return "freed"
+	}
+}
+
+// captureLit forgets variables captured by a function literal (they
+// escape the tracked flow) and queues the literal body for its own pass.
+func (f *tsFlow) captureLit(env tsEnv, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := f.pkg.Info.Uses[id].(*types.Var); ok {
+			delete(env, v)
+		}
+		return true
+	})
+	f.lits = append(f.lits, lit)
+}
+
+// untrackAssigned forgets a variable written by an unmodeled binding
+// (range vars, multi-value assignment).
+func (f *tsFlow) untrackAssigned(env tsEnv, e ast.Expr) {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok {
+		return
+	}
+	v, _ := f.pkg.Info.Defs[id].(*types.Var)
+	if v == nil {
+		v, _ = f.pkg.Info.Uses[id].(*types.Var)
+	}
+	if v != nil {
+		f.checkOverwrite(env, v, e.Pos())
+		delete(env, v)
+	}
+}
+
+// call applies one call's //state: contract to its receiver and
+// arguments.
+func (f *tsFlow) call(env tsEnv, call *ast.CallExpr, callee *types.Func, ann *funcStateAnn) {
+	calleeName := "this call"
+	if callee != nil {
+		calleeName = callee.Name()
+	}
+	// Receiver disposition for method calls.
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		recvDisp := paramDisp{}
+		if ann != nil {
+			recvDisp = ann.recv
+		}
+		if id, ok := unparen(sel.X).(*ast.Ident); ok {
+			f.applyDisp(env, id, recvDisp, calleeName, callee)
+		} else {
+			f.expr(env, sel.X)
+		}
+	} else {
+		f.expr(env, call.Fun)
+	}
+	for i, arg := range call.Args {
+		disp := paramDisp{}
+		if ann != nil {
+			disp = ann.params[i]
+		}
+		if id, ok := unparen(arg).(*ast.Ident); ok {
+			if _, tracked := f.trackedVar(env, id); tracked {
+				f.applyDisp(env, id, disp, calleeName, callee)
+				continue
+			}
+		}
+		// Owned temporaries (mint calls, &T{} composites) passed inline:
+		// legal when the parameter consumes them, a guaranteed leak when
+		// it only borrows.
+		val, handled := f.valueOf(env, arg, true)
+		if val != nil {
+			if val.owned && val.proto.kind == "pooled" && disp.kind != dispKill && disp.kind != dispXfer {
+				f.report("poollife", arg.Pos(),
+					"caller-owned pooled %s passed to %s, which does not take ownership (no //state: kill or xfer on that parameter): nothing will ever free it",
+					val.proto.name, calleeName)
+			}
+			continue
+		}
+		if !handled {
+			f.expr(env, arg)
+		}
+	}
+}
+
+func (f *tsFlow) trackedVar(env tsEnv, id *ast.Ident) (*types.Var, bool) {
+	v, _ := f.pkg.Info.Uses[id].(*types.Var)
+	if v == nil {
+		return nil, false
+	}
+	_, ok := env[v]
+	return v, ok
+}
+
+// applyDisp applies one parameter disposition to a tracked argument.
+func (f *tsFlow) applyDisp(env tsEnv, id *ast.Ident, disp paramDisp, calleeName string, callee *types.Func) {
+	v, tracked := f.trackedVar(env, id)
+	if !tracked {
+		f.useIdent(env, id)
+		return
+	}
+	val := env[v]
+	label := "poollife"
+	if val.proto.kind != "pooled" {
+		label = "handlestate"
+	}
+	switch disp.kind {
+	case dispKill, dispXfer:
+		if gone := val.states & val.proto.goneMask(); gone != 0 {
+			if val.proto.kind == "pooled" {
+				f.report("poollife", id.Pos(),
+					"double free of '%s': pooled %s is already %s when passed to %s",
+					id.Name, val.proto.name, val.proto.setString(gone), calleeName)
+			} else {
+				f.report("handlestate", id.Pos(),
+					"'%s' passed to %s while possibly dead: handle %s already reached %s on a path to here (a fired or cancelled handle must not be released again)",
+					id.Name, calleeName, val.proto.name, val.proto.setString(gone))
+			}
+		}
+		if !val.owned {
+			f.report("ownxfer", id.Pos(),
+				"parameter '%s' is borrowed, but %s consumes it: declare '//state: xfer %s' (or kill) on %s's signature",
+				id.Name, calleeName, id.Name, f.declName)
+		}
+		if disp.kind == dispKill {
+			dead := val.proto.deadMask()
+			if dead == 0 {
+				dead = xferBit
+			}
+			val.states = dead
+		} else {
+			val.states = xferBit
+		}
+		env[v] = val
+	case dispMove:
+		if bad := val.states &^ (disp.from | val.proto.goneMask()); bad != 0 {
+			f.report(label, id.Pos(),
+				"%s requires %s '%s' in state %s, but it may be %s here",
+				calleeName, val.proto.name, id.Name, val.proto.setString(disp.from), val.proto.setString(bad))
+		}
+		if gone := val.states & val.proto.goneMask(); gone != 0 {
+			f.report(label, id.Pos(),
+				"%s called on '%s' after it was already %s", calleeName, id.Name, val.proto.setString(gone))
+		}
+		val.states = disp.to
+		env[v] = val
+	case dispNone:
+		f.useIdent(env, id)
+	}
+	_ = callee
+}
+
+// ---------------------------------------------------------------------------
+// Callback clear-first rule
+
+// clearFirstPass enforces the scheduler-handle contract module-wide: when
+// a mint call arms a struct field of a handle protocol that has a dead
+// state (the Event shape), and the callback argument can be resolved, the
+// callback's first statement must clear that same field — the idiom the
+// Event handle-lifetime contract is built on. Unresolvable callbacks
+// (plain function values assigned elsewhere than this package) are
+// skipped.
+func clearFirstPass(p *Package, prog *Program, tab *stateTable, out *typestateAnalysis) {
+	lits := litFieldMap(p)
+	report := func(pos token.Pos, fieldName string) {
+		d := p.diag("handlestate", pos,
+			"callback arming field '%s' does not clear it first: the handle is dead once the callback runs, so the callback's first statement must set '%s = nil' before any re-arm or cancel",
+			fieldName, fieldName)
+		out.findings = append(out.findings, tsFinding{analyzer: "handlestate", d: d})
+	}
+	inspect := func(body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			st, ok := n.(*ast.AssignStmt)
+			if !ok || st.Tok != token.ASSIGN || len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return true
+			}
+			sel, ok := unparen(st.Lhs[0]).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := fieldVarOf(p, sel)
+			if field == nil {
+				return true
+			}
+			proto := tab.protoOf(field.Type())
+			if proto == nil || proto.kind != "handle" || proto.deadMask() == 0 {
+				return true
+			}
+			call, ok := unparen(st.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee, _ := p.calleeOf(call)
+			ann := tab.funcs[callee]
+			if ann == nil || !ann.mint || ann.mintProto != proto {
+				return true
+			}
+			for _, arg := range call.Args {
+				t := p.Info.TypeOf(arg)
+				if t == nil {
+					continue
+				}
+				if _, ok := t.Underlying().(*types.Signature); !ok {
+					continue
+				}
+				body := resolveCallback(p, prog, lits, arg)
+				if body == nil {
+					continue // documented hole: unresolvable function value
+				}
+				if !clearsFieldFirst(p, body, field) {
+					report(st.Pos(), field.Name())
+				}
+			}
+			return true
+		})
+	}
+	for _, n := range prog.order {
+		if n.pkg == p {
+			inspect(n.decl.Body)
+		}
+	}
+}
+
+// litFieldMap collects 'x.field = func(){...}' assignments in the
+// package, so once-bound callback fields (Timer.wrap, Sender.pumpFn)
+// resolve to their literal bodies.
+func litFieldMap(p *Package) map[*types.Var]*ast.FuncLit {
+	out := make(map[*types.Var]*ast.FuncLit)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.AssignStmt)
+			if !ok || st.Tok != token.ASSIGN || len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+				return true
+			}
+			sel, ok := unparen(st.Lhs[0]).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			lit, ok := unparen(st.Rhs[0]).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if v := fieldVarOf(p, sel); v != nil {
+				out[v] = lit
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// fieldVarOf resolves a selector to the struct field it denotes, or nil.
+func fieldVarOf(p *Package, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := p.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+// resolveCallback maps a callback argument to the function body that will
+// run: an inline literal, a method value, or a field holding a literal
+// bound in this package.
+func resolveCallback(p *Package, prog *Program, lits map[*types.Var]*ast.FuncLit, arg ast.Expr) *ast.BlockStmt {
+	switch a := unparen(arg).(type) {
+	case *ast.FuncLit:
+		return a.Body
+	case *ast.SelectorExpr:
+		if s, ok := p.Info.Selections[a]; ok {
+			switch s.Kind() {
+			case types.MethodVal:
+				if fn, ok := s.Obj().(*types.Func); ok {
+					if n := prog.nodes[fn]; n != nil {
+						return n.decl.Body
+					}
+				}
+			case types.FieldVal:
+				if v, ok := s.Obj().(*types.Var); ok {
+					if lit := lits[v]; lit != nil {
+						return lit.Body
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// clearsFieldFirst reports whether body's first statement assigns nil to
+// the given field.
+func clearsFieldFirst(p *Package, body *ast.BlockStmt, field *types.Var) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	st, ok := body.List[0].(*ast.AssignStmt)
+	if !ok || st.Tok != token.ASSIGN || len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return false
+	}
+	sel, ok := unparen(st.Lhs[0]).(*ast.SelectorExpr)
+	if !ok || fieldVarOf(p, sel) != field {
+		return false
+	}
+	id, ok := unparen(st.Rhs[0]).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// ---------------------------------------------------------------------------
+// Interface-contract consistency
+
+// ifaceContracts checks that methods implementing a //state:-annotated
+// interface method declare the same parameter dispositions: a Node
+// implementation that silently borrows what the interface transfers
+// would break every caller's ownership accounting.
+func ifaceContracts(p *Package, prog *Program, tab *stateTable, out *typestateAnalysis) {
+	fns := make([]*types.Func, 0, len(tab.funcs))
+	for fn := range tab.funcs {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+	for _, fn := range fns {
+		ann := tab.funcs[fn]
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		idxs := make([]int, 0, len(ann.params))
+		for i := range ann.params {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, impl := range prog.implementations(fn) {
+			if impl.pkg != p {
+				continue
+			}
+			implAnn := tab.funcs[impl.fn]
+			for _, i := range idxs {
+				want := ann.params[i]
+				got := paramDisp{}
+				if implAnn != nil {
+					got = implAnn.params[i]
+				}
+				if got.kind != want.kind {
+					d := p.diag("ownxfer", impl.decl.Pos(),
+						"%s implements %s, whose //state: contract declares %s for parameter %d; the implementation must declare the same disposition",
+						impl.fn.Name(), fn.FullName(), dispName(want.kind), i+1)
+					out.findings = append(out.findings, tsFinding{analyzer: "ownxfer", d: d})
+				}
+			}
+		}
+	}
+}
+
+func dispName(k dispKind) string {
+	switch k {
+	case dispKill:
+		return "kill"
+	case dispXfer:
+		return "xfer"
+	case dispMove:
+		return "move"
+	case dispNone:
+		return "none"
+	}
+	return "none"
+}
+
+// typestateFindings filters the cached engine result for one analyzer.
+func typestateFindings(p *Package, analyzer string) []Diagnostic {
+	prog := p.Prog
+	if prog == nil {
+		return nil
+	}
+	res := prog.typestateOf(p)
+	var out []Diagnostic
+	for _, f := range res.findings {
+		if f.analyzer == analyzer {
+			out = append(out, f.d)
+		}
+	}
+	return out
+}

@@ -21,6 +21,8 @@ type Node interface {
 	ID() packet.NodeID
 	// Deliver hands an arriving packet to the node. The node takes
 	// ownership of the packet.
+	//
+	//state: xfer pkt
 	Deliver(pkt *packet.Packet)
 }
 
@@ -137,7 +139,11 @@ func (l *Link) SetDelay(d sim.Duration) {
 
 // Propagate schedules delivery of pkt at the destination after the
 // propagation delay. The caller is responsible for having accounted for
-// serialization time (the Port does this).
+// serialization time (the Port does this). The link consumes the packet
+// on every path: blackholed and lost packets go back to the pool, the
+// rest ride the delivery event to the destination node.
+//
+// state: xfer pkt
 func (l *Link) Propagate(pkt *packet.Packet) {
 	if pkt.Hop() > maxHops {
 		panic(fmt.Sprintf("netsim: packet exceeded %d hops (routing loop?): %v", maxHops, pkt))

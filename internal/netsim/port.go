@@ -169,6 +169,11 @@ func NewPort(sched *sim.Scheduler, link *Link, cfg PortConfig) *Port {
 func (p *Port) SetPool(pool *packet.Pool) { p.pool = pool }
 
 // push appends a packet at the tail of the ring, growing it when full.
+// The ring slot is the sanctioned long-lived store for an in-queue packet:
+// ownership parks here until pop hands it to the serializer.
+//
+// state: xfer pkt
+// state: sink
 func (p *Port) push(pkt *packet.Packet) {
 	if p.qLen == len(p.q) {
 		p.grow()
@@ -179,6 +184,9 @@ func (p *Port) push(pkt *packet.Packet) {
 }
 
 // pop removes and returns the head-of-line packet. Caller checks qLen > 0.
+// Ownership leaves the ring with the packet.
+//
+// state: mint
 func (p *Port) pop() *packet.Packet {
 	pkt := p.q[p.qHead]
 	p.q[p.qHead] = nil
@@ -315,7 +323,11 @@ func (p *Port) Paused() bool { return p.paused }
 // Enqueue accepts a packet for transmission. If the static buffer cannot
 // hold it, the packet is dropped (tail drop). If the instantaneous queue
 // occupancy exceeds the marking threshold K and the packet is ECN-capable,
-// its codepoint is set to CE.
+// its codepoint is set to CE. Either way the packet is consumed: dropped
+// ones return to the pool, accepted ones park in the ring until
+// transmission.
+//
+// state: xfer pkt
 //
 //hot:path
 func (p *Port) Enqueue(pkt *packet.Packet) {

@@ -87,6 +87,8 @@ func (s *Switch) AggregateStats() SwitchStats {
 // Deliver forwards an arriving packet toward its destination. An unknown
 // destination panics: the topologies in this repository are fully
 // statically routed, so a miss is always a wiring bug.
+//
+// state: xfer pkt
 func (s *Switch) Deliver(pkt *packet.Packet) {
 	out, ok := s.routes[pkt.Dst]
 	if !ok {

@@ -95,6 +95,13 @@ const (
 // Packet is one simulated segment. Packets are passed by pointer and owned
 // by exactly one network element at a time; they are never shared, so no
 // locking is required in the single-threaded event loop.
+//
+// The ownership contract is machine-checked: simlint's poollife analyzer
+// tracks every pooled packet from its mint (Pool.Get, Host.AllocPacket)
+// to exactly one release (Pool.Put, or a //state: xfer hand-off into the
+// network) per path.
+//
+// state: pooled owned -> freed
 type Packet struct {
 	Src, Dst NodeID
 	Flow     FlowID

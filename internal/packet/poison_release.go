@@ -1,0 +1,12 @@
+//go:build !checkdebug
+
+package packet
+
+// Normal builds compile the pool-poison backstop away; see poison_debug.go
+// (checkdebug tag) for the debug-build behaviour.
+
+func poolPoisonCheck(*Packet) {}
+
+func poolPoisonArm(*Packet, FlowID) {}
+
+func poolPoisonClear(*Packet) {}

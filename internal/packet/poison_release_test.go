@@ -1,0 +1,30 @@
+//go:build !checkdebug
+
+package packet
+
+import (
+	"testing"
+
+	"dctcpplus/internal/check"
+)
+
+// TestPoisonCompiledOut pins the release-build contract: no debug flag,
+// and a recycled packet comes back exactly as zeroed as a fresh one — the
+// poison pattern must leave no trace when the tag is off.
+func TestPoisonCompiledOut(t *testing.T) {
+	if check.Debug {
+		t.Fatal("check.Debug must be false without the checkdebug tag")
+	}
+	p := &Pool{}
+	pkt := p.Get()
+	pkt.Flow = 42
+	pkt.Seq = 1000
+	p.Put(pkt)
+	got := p.Get()
+	if got != pkt {
+		t.Fatal("pool did not recycle the freed packet")
+	}
+	if *got != (Packet{}) {
+		t.Errorf("recycled packet not zeroed: %+v", *got)
+	}
+}

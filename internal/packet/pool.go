@@ -21,7 +21,11 @@ type Pool struct {
 	recycled int64
 }
 
-// Get returns a zeroed packet, reusing a freed one when available.
+// Get returns a zeroed packet, reusing a freed one when available. The
+// caller owns the result and must release it exactly once (Put, or an
+// ownership-transferring hand-off such as Host.Send).
+//
+// state: mint
 //
 //hot:path
 func (p *Pool) Get() *Packet {
@@ -35,17 +39,23 @@ func (p *Pool) Get() *Packet {
 	pkt := p.free
 	p.free = pkt.nextFree
 	pkt.nextFree = nil
+	poolPoisonClear(pkt)
 	p.recycled++
 	return pkt
 }
 
 // Put recycles a packet the caller no longer owns. The packet is zeroed so
 // stale header fields, flags, and hop counts cannot leak into its next use.
+//
+// state: kill pkt
 func (p *Pool) Put(pkt *Packet) {
 	if p == nil || pkt == nil {
 		return
 	}
+	poolPoisonCheck(pkt)
+	flow := pkt.Flow
 	*pkt = Packet{nextFree: p.free}
+	poolPoisonArm(pkt, flow)
 	p.free = pkt
 }
 

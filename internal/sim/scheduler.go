@@ -13,6 +13,13 @@ import "fmt"
 // Timer, the sender's pacing gate) clear their handle field as the first
 // action of the callback, which is the idiom this contract is built for.
 // Cancelling a dead handle before any reuse remains a harmless no-op.
+//
+// The contract is machine-checked: simlint's handlestate analyzer tracks
+// every handle from mint (At/After and the Arg variants) to dead
+// (fire/Cancel), and enforces the clear-field-first idiom on re-arming
+// callbacks.
+//
+// state: handle armed -> dead
 type Event struct {
 	when Time
 	seq  uint64 // tie-breaker: FIFO among events at the same instant
@@ -105,6 +112,8 @@ func (s *Scheduler) schedule(e *Event, t Time) *Event {
 
 // At schedules fn to run at time t and returns a cancellable handle.
 // Scheduling in the past panics: it always indicates a model bug.
+//
+// state: mint
 func (s *Scheduler) At(t Time, fn func()) *Event {
 	e := s.alloc()
 	e.fn = fn
@@ -112,6 +121,8 @@ func (s *Scheduler) At(t Time, fn func()) *Event {
 }
 
 // After schedules fn to run d after the current time.
+//
+// state: mint
 func (s *Scheduler) After(d Duration, fn func()) *Event {
 	if d < 0 {
 		d = 0
@@ -124,6 +135,12 @@ func (s *Scheduler) After(d Duration, fn func()) *Event {
 // serialization completion, the link's propagation delivery) schedule with
 // a callback constructed once at wiring time: passing a pointer through
 // arg does not allocate, while capturing it in a fresh closure would.
+//
+// arg is an ownership sink: a pooled packet scheduled for delivery is the
+// callee's to free once the event is queued.
+//
+// state: mint
+// state: xfer arg
 func (s *Scheduler) AtArg(t Time, fn func(any), arg any) *Event {
 	e := s.alloc()
 	e.afn = fn
@@ -132,6 +149,9 @@ func (s *Scheduler) AtArg(t Time, fn func(any), arg any) *Event {
 }
 
 // AfterArg schedules fn(arg) to run d after the current time.
+//
+// state: mint
+// state: xfer arg
 func (s *Scheduler) AfterArg(d Duration, fn func(any), arg any) *Event {
 	if d < 0 {
 		d = 0
@@ -143,6 +163,8 @@ func (s *Scheduler) AfterArg(d Duration, fn func(any), arg any) *Event {
 // event that has already fired or been cancelled is a harmless no-op (as
 // long as the handle has not been recycled — see the Event contract),
 // which lets timer owners cancel unconditionally.
+//
+// state: kill e
 func (s *Scheduler) Cancel(e *Event) {
 	if e == nil || e.idx < 0 {
 		return
@@ -280,6 +302,8 @@ func (s *Scheduler) Halt() { s.halted = true }
 // disarms it. The callback is fixed at construction, and so is the wrapper
 // that clears the pending-event handle — re-arming (the per-ACK RTO reset)
 // allocates nothing.
+//
+// state: handle disarmed -> armed
 type Timer struct {
 	s    *Scheduler
 	fn   func()
@@ -288,6 +312,8 @@ type Timer struct {
 }
 
 // NewTimer creates a disarmed timer that will invoke fn on expiry.
+//
+// state: mint
 func NewTimer(s *Scheduler, fn func()) *Timer {
 	t := &Timer{s: s, fn: fn}
 	t.wrap = func() {
@@ -299,6 +325,8 @@ func NewTimer(s *Scheduler, fn func()) *Timer {
 
 // Reset (re-)arms the timer to fire d from now.
 //
+// state: move t disarmed,armed -> armed
+//
 //hot:path
 func (t *Timer) Reset(d Duration) {
 	t.s.Cancel(t.ev)
@@ -306,12 +334,16 @@ func (t *Timer) Reset(d Duration) {
 }
 
 // ResetAt (re-)arms the timer to fire at absolute time at.
+//
+// state: move t disarmed,armed -> armed
 func (t *Timer) ResetAt(at Time) {
 	t.s.Cancel(t.ev)
 	t.ev = t.s.At(at, t.wrap)
 }
 
 // Stop disarms the timer if it is pending.
+//
+// state: move t disarmed,armed -> disarmed
 func (t *Timer) Stop() {
 	t.s.Cancel(t.ev)
 	t.ev = nil

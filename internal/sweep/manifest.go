@@ -35,7 +35,7 @@ type manifestEntry struct {
 	Status string `json:"status"` // "hit" or "miss"
 	// WallNs is host wall-clock spent executing the job (0 for cache
 	// hits); it times the run, it never feeds back into simulation state.
-	WallNs int64 `json:"wall_ns"` //lint:allow simtime host wall-clock measurement, not sim time
+	WallNs int64 `json:"wall_ns"`
 }
 
 // manifest writes a sweep journal. Methods are not safe for concurrent

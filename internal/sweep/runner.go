@@ -79,7 +79,7 @@ type Outcome struct {
 	CacheErrs int
 
 	// JobWallNs is per-job execution wall time (0 for hits and skips).
-	JobWallNs []int64 //lint:allow simtime host wall-clock measurement, not sim time
+	JobWallNs []int64
 
 	// Groups aggregates the completed results across seeds, in first-job
 	// order.

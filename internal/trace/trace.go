@@ -106,6 +106,12 @@ func (q *QueueSampler) Start() {
 }
 
 func (q *QueueSampler) tick() {
+	// The event that invoked us is dead and its handle may be recycled by
+	// the re-arm below, so clear the field before anything else (the
+	// sim.Event contract; enforced by simlint's handlestate analyzer).
+	// Without this, a Stop between the sample and a later reuse of the
+	// recycled handle would cancel somebody else's event.
+	q.ev = nil
 	if !q.running {
 		return
 	}
